@@ -1,0 +1,90 @@
+// Command mpquery runs ad-hoc Mongo-style queries against a durable
+// store from the command line:
+//
+//	mpquery -data ./mpdata -c materials -q '{"elements": {"$all": ["Li", "O"]}}' -limit 5
+//	mpquery -data ./mpdata -c tasks -q '{"state": "successful"}' -count
+//	mpquery -data ./mpdata -collections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "durable store directory")
+	coll := flag.String("c", "materials", "collection to query")
+	queryJSON := flag.String("q", "{}", "filter as JSON (Mongo query operators supported)")
+	projJSON := flag.String("p", "", "projection as JSON, e.g. {\"pretty_formula\": 1}")
+	sortSpec := flag.String("sort", "", "comma-separated sort fields, prefix - for descending")
+	limit := flag.Int("limit", 10, "max documents to print (0 = all)")
+	count := flag.Bool("count", false, "print the match count only")
+	distinct := flag.String("distinct", "", "print distinct values of this field")
+	listColls := flag.Bool("collections", false, "list collections and exit")
+	flag.Parse()
+
+	if *dataDir == "" {
+		log.Fatal("mpquery: -data is required (a durable store directory)")
+	}
+	store, err := datastore.Open(*dataDir)
+	if err != nil {
+		log.Fatalf("mpquery: %v", err)
+	}
+	defer store.Close()
+
+	if *listColls {
+		for _, name := range store.Collections() {
+			st := store.C(name).Stats()
+			fmt.Printf("%-20s %8d docs %10d bytes indexes=%v\n", name, st.Documents, st.Bytes, st.Indexes)
+		}
+		return
+	}
+
+	filter, err := document.FromJSON([]byte(*queryJSON))
+	if err != nil {
+		log.Fatalf("mpquery: filter: %v", err)
+	}
+	c := store.C(*coll)
+
+	switch {
+	case *count:
+		n, err := c.Count(filter)
+		if err != nil {
+			log.Fatalf("mpquery: %v", err)
+		}
+		fmt.Println(n)
+	case *distinct != "":
+		vals, err := c.Distinct(*distinct, filter)
+		if err != nil {
+			log.Fatalf("mpquery: %v", err)
+		}
+		for _, v := range vals {
+			fmt.Println(v)
+		}
+	default:
+		opts := &datastore.FindOpts{Limit: *limit}
+		if *projJSON != "" {
+			proj, err := document.FromJSON([]byte(*projJSON))
+			if err != nil {
+				log.Fatalf("mpquery: projection: %v", err)
+			}
+			opts.Projection = proj
+		}
+		if *sortSpec != "" {
+			opts.Sort = strings.Split(*sortSpec, ",")
+		}
+		docs, err := c.FindAll(filter, opts)
+		if err != nil {
+			log.Fatalf("mpquery: %v", err)
+		}
+		for _, d := range docs {
+			fmt.Println(d.String())
+		}
+		fmt.Printf("# %d documents\n", len(docs))
+	}
+}

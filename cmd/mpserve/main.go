@@ -1,0 +1,58 @@
+// Command mpserve builds (or reopens) a Materials Project deployment and
+// serves the Materials API over HTTP:
+//
+//	mpserve -addr :8651 -materials 100
+//	mpserve -addr :8651 -data ./mpdata        # durable store
+//
+// Sign up for an API key, then query:
+//
+//	curl -X POST 'http://localhost:8651/auth/signup?provider=google&email=you@example.com'
+//	curl -H "X-API-KEY: $KEY" http://localhost:8651/rest/v1/materials/Fe2O3/vasp/energy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"matproj/internal/pipeline"
+	"matproj/internal/restapi"
+	"matproj/internal/webui"
+)
+
+func main() {
+	addr := flag.String("addr", ":8651", "listen address")
+	nMaterials := flag.Int("materials", 80, "synthetic ICSD records to compute on first build")
+	dataDir := flag.String("data", "", "directory for a durable store (empty = in-memory)")
+	seed := flag.Int64("seed", 2012, "dataset seed")
+	flag.Parse()
+
+	cfg := pipeline.DefaultConfig()
+	cfg.NMaterials = *nMaterials
+	cfg.PersistDir = *dataDir
+	cfg.Seed = *seed
+	log.Printf("building deployment (%d materials)...", cfg.NMaterials)
+	d, err := pipeline.Build(cfg)
+	if err != nil {
+		log.Fatalf("mpserve: build: %v", err)
+	}
+	st := d.Store.Stats()
+	log.Printf("store ready: %d collections, %d documents, ~%d KB", st.Collections, st.Documents, st.Bytes/1024)
+	log.Printf("materials=%d tasks=%d bandstructures=%d xrd=%d batteries=%d",
+		d.Materials, d.Tasks, d.Bands, d.XRDPatterns, d.Batteries)
+
+	auth := restapi.NewAuth(d.Store)
+	api := restapi.NewServer(d.Engine, auth, d.Store)
+	portal := webui.NewServer(d.Engine, d.Store)
+	mux := http.NewServeMux()
+	mux.Handle("/rest/", api)
+	mux.Handle("/auth/", api)
+	mux.Handle("/", portal)
+	log.Printf("Materials API + web portal listening on %s", *addr)
+	fmt.Printf("portal:  http://localhost%s/\n", *addr)
+	fmt.Printf("example: curl -X POST 'http://localhost%s/auth/signup?provider=google&email=you@example.com'\n", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatalf("mpserve: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+// Command mpworker runs the computation tier standalone: it loads
+// synthetic ICSD records into a store, creates VASP fireworks for them,
+// and executes everything on the simulated HPC cluster with task-farming
+// batch jobs, reporting workflow and cluster statistics.
+//
+//	mpworker -materials 120 -nodes 32 -walltime 12h -data ./mpdata
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/dft"
+	"matproj/internal/document"
+	"matproj/internal/fireworks"
+	"matproj/internal/hpc"
+	"matproj/internal/icsd"
+)
+
+func main() {
+	nMaterials := flag.Int("materials", 60, "synthetic ICSD records")
+	nodes := flag.Int("nodes", 16, "cluster nodes")
+	queueLimit := flag.Int("queue-limit", 8, "per-user batch queue limit (0 = unlimited)")
+	workers := flag.Int("workers", 8, "task-farm jobs per round")
+	walltime := flag.Duration("walltime", 24*time.Hour, "batch job walltime (virtual)")
+	dupRate := flag.Float64("dup-rate", 0.15, "ICSD redetermination rate")
+	seed := flag.Int64("seed", 2012, "dataset seed")
+	dataDir := flag.String("data", "", "durable store directory (empty = in-memory)")
+	selector := flag.String("selector", "", `optional claim selector as JSON, e.g. {"stage.nelectrons": {"$lte": 200}}`)
+	flag.Parse()
+
+	store, err := datastore.Open(*dataDir)
+	if err != nil {
+		log.Fatalf("mpworker: %v", err)
+	}
+	defer store.Close()
+
+	pad := fireworks.NewLaunchPad(store, 5)
+	fireworks.RegisterVASP(pad)
+	mps := store.C("mps")
+	var fws []fireworks.Firework
+	for _, r := range icsd.Generate(icsd.Config{Seed: *seed, DuplicateRate: *dupRate}, *nMaterials) {
+		mdoc := r.ToDoc()
+		if _, err := mps.Insert(mdoc); err != nil {
+			log.Fatalf("mpworker: insert mps: %v", err)
+		}
+		fws = append(fws, fireworks.NewVASPFirework(mdoc, "relax", dft.DefaultParams(), *walltime/4))
+	}
+	if _, err := pad.AddWorkflow(fws); err != nil {
+		log.Fatalf("mpworker: add workflow: %v", err)
+	}
+	log.Printf("registered %d fireworks", len(fws))
+
+	var sel document.D
+	if *selector != "" {
+		sel, err = document.FromJSON([]byte(*selector))
+		if err != nil {
+			log.Fatalf("mpworker: selector: %v", err)
+		}
+	}
+
+	cluster := hpc.NewCluster(*nodes, *queueLimit,
+		hpc.Policy{WorkerOutbound: false, ProxyHost: "mongoproxy01"})
+	start := time.Now()
+	jobs, err := fireworks.DriveCluster(pad, fireworks.NewVASPAssembler(store), cluster,
+		"mp_prod", *workers, *walltime, sel)
+	if err != nil {
+		log.Fatalf("mpworker: drive: %v", err)
+	}
+	st := cluster.Stats()
+	log.Printf("done in %v real time", time.Since(start).Round(time.Millisecond))
+	log.Printf("batch jobs: %d  virtual makespan: %v", jobs, st.Makespan.Round(time.Minute))
+	log.Printf("tasks done: %d  killed at walltime: %d", st.TasksDone, st.TasksKilled)
+	nTasks, _ := store.C("tasks").Count(nil)
+	nOK, _ := store.C("tasks").Count(document.D{"state": "successful"})
+	log.Printf("tasks collection: %d documents (%d successful)", nTasks, nOK)
+	for _, state := range []fireworks.State{fireworks.StateCompleted, fireworks.StateDefused} {
+		n, _ := store.C(fireworks.EnginesCollection).Count(document.D{"state": string(state)})
+		log.Printf("fireworks %s: %d", state, n)
+	}
+}

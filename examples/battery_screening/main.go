@@ -1,0 +1,56 @@
+// Battery screening: the paper's motivating application (Fig. 1).
+//
+// Generates synthetic battery-framework crystals, computes lithiated and
+// delithiated energies with the DFT simulator, evaluates each couple's
+// voltage and gravimetric capacity, and prints the screen alongside the
+// experimentally known cathodes — the candidates broaden the property
+// envelope beyond the known-materials band, which is the whole point of
+// high-throughput screening.
+//
+//	go run ./examples/battery_screening
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"matproj/internal/analysis"
+	"matproj/internal/pipeline"
+)
+
+func main() {
+	candidates, err := pipeline.BatteryScreen(2012, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].SpecificEnergy > candidates[j].SpecificEnergy
+	})
+
+	fmt.Printf("screened %d candidate electrodes\n\n", len(candidates))
+	fmt.Printf("top 10 by specific energy:\n")
+	fmt.Printf("%-16s %-4s %8s %12s %12s\n", "formula", "ion", "V (V)", "C (mAh/g)", "E (Wh/kg)")
+	for i, c := range candidates {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("%-16s %-4s %8.2f %12.1f %12.1f\n", c.Formula, c.Ion, c.Voltage, c.Capacity, c.SpecificEnergy)
+	}
+
+	known := analysis.KnownElectrodes()
+	fmt.Printf("\nknown cathodes for reference:\n")
+	for _, k := range known {
+		fmt.Printf("%-16s %-4s %8.2f %12.1f %12.1f\n", k.Formula, k.Ion, k.Voltage, k.Capacity, k.SpecificEnergy)
+	}
+
+	// How many candidates escape the known band?
+	outside := 0
+	for _, c := range candidates {
+		if c.Voltage < 2.5 || c.Voltage > 5 || c.Capacity < 100 || c.Capacity > 200 {
+			outside++
+		}
+	}
+	fmt.Printf("\n%d of %d candidates fall outside the known-materials property band\n", outside, len(candidates))
+	fmt.Println("(compare Fig. 1: screening reveals chemistries beyond the narrow known range)")
+}

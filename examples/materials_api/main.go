@@ -1,0 +1,106 @@
+// Materials API: programmatic data access over HTTP (§III-D2, Fig. 4).
+//
+// Builds a small deployment, serves it with the real HTTP server, signs
+// up through delegated third-party auth, and exercises the API the way
+// an external analysis tool (the pymatgen role) would: the Fig. 4 energy
+// URI, a chemical-system search, and the structured query endpoint.
+//
+//	go run ./examples/materials_api
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"matproj/internal/pipeline"
+	"matproj/internal/restapi"
+)
+
+func main() {
+	cfg := pipeline.DefaultConfig()
+	cfg.NMaterials = 40
+	d, err := pipeline.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auth := restapi.NewAuth(d.Store)
+	srv := httptest.NewServer(restapi.NewServer(d.Engine, auth, d.Store))
+	defer srv.Close()
+	fmt.Printf("Materials API serving %d materials at %s\n\n", d.Materials, srv.URL)
+
+	// 1. Delegated signup: no password, just a trusted provider.
+	resp, err := http.Post(srv.URL+"/auth/signup?provider=google&email=alice@example.com", "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var signup struct {
+		Response []struct {
+			APIKey string `json:"api_key"`
+		} `json:"response"`
+	}
+	decode(resp, &signup)
+	key := signup.Response[0].APIKey
+	fmt.Printf("signed up via Google, API key %s...\n\n", key[:10])
+
+	get := func(path string) string {
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		req.Header.Set("X-API-KEY", key)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Body.Close()
+		body, _ := io.ReadAll(r.Body)
+		return fmt.Sprintf("HTTP %d %s", r.StatusCode, truncate(string(body), 200))
+	}
+
+	// 2. The Fig. 4 URI (first formula in the corpus plays Fe2O3's role).
+	first := firstFormula(d)
+	fmt.Printf("GET /rest/v1/materials/%s/vasp/energy\n  %s\n\n", first, get("/rest/v1/materials/"+first+"/vasp/energy"))
+
+	// 3. Chemical-system search.
+	fmt.Printf("GET /rest/v1/materials/Li-O/vasp/band_gap\n  %s\n\n", get("/rest/v1/materials/Li-O/vasp/band_gap"))
+
+	// 4. Derived properties.
+	fmt.Printf("GET /rest/v1/batteries?ion=Li\n  %s\n\n", get("/rest/v1/batteries?ion=Li"))
+
+	// 5. Structured query with criteria in the Mongo language.
+	body := `{"criteria": {"band_gap": {"$gte": 2.0}}, "properties": ["formula", "band_gap"], "limit": 3}`
+	req, _ := http.NewRequest("POST", srv.URL+"/rest/v1/query", strings.NewReader(body))
+	req.Header.Set("X-API-KEY", key)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	fmt.Printf("POST /rest/v1/query %s\n  HTTP %d %s\n", body, r.StatusCode, truncate(string(raw), 300))
+}
+
+func decode(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func firstFormula(d *pipeline.Deployment) string {
+	m, err := d.Store.C("materials").FindOne(nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.GetString("pretty_formula")
+}
+
+func truncate(s string, n int) string {
+	s = strings.TrimSpace(s)
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,119 @@
+// Phase diagram from the Materials API: the §III-D3 "joint analysis of
+// local and remote data" workflow. An external analysis tool signs up,
+// pulls a chemical system from a running Materials API, combines it with
+// local elemental references, builds a convex-hull phase diagram, and
+// reports which phases are synthesizable — exactly what pymatgen users
+// did against the production API.
+//
+//	go run ./examples/phase_diagram
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sort"
+
+	"matproj/internal/analysis"
+	"matproj/internal/dft"
+	"matproj/internal/mpclient"
+	"matproj/internal/pipeline"
+	"matproj/internal/restapi"
+)
+
+func main() {
+	// Stand up a deployment and its API ("the remote side").
+	cfg := pipeline.DefaultConfig()
+	cfg.NMaterials = 60
+	d, err := pipeline.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(restapi.NewServer(d.Engine, restapi.NewAuth(d.Store), d.Store))
+	defer srv.Close()
+	fmt.Printf("Materials API serving %d materials\n", d.Materials)
+
+	// The local analyst's side starts here: only the URL is shared.
+	client, err := mpclient.Signup(srv.URL, "google", "analyst@example.com")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the corpus's busiest chemical system to analyze.
+	system := busiestSystem(client)
+	fmt.Printf("analyzing the %v chemical system\n\n", system)
+
+	entries, err := client.Entries(system, dft.ElementalEnergy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pulled %d entries from the API (elemental references synthesized locally)\n", len(entries))
+
+	pd, err := analysis.NewPhaseDiagram(entries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		id      string
+		formula string
+		ef      float64
+		above   float64
+	}
+	var rows []row
+	for _, e := range entries {
+		above, err := pd.EAboveHull(e)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, row{
+			id:      e.ID,
+			formula: e.Composition.ReducedFormula(),
+			ef:      pd.FormationEnergyPerAtom(e),
+			above:   above,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].above < rows[j].above })
+
+	fmt.Printf("\n%-14s %-12s %14s %16s %s\n", "entry", "formula", "Ef (eV/atom)", "E>hull (eV/atom)", "verdict")
+	for _, r := range rows {
+		verdict := "unstable"
+		switch {
+		case r.above < 1e-8:
+			verdict = "STABLE (on the hull)"
+		case r.above < 0.05:
+			verdict = "metastable, maybe synthesizable"
+		}
+		fmt.Printf("%-14s %-12s %14.3f %16.3f %s\n", r.id, r.formula, r.ef, r.above, verdict)
+	}
+}
+
+// busiestSystem finds the chemical system with the most materials: a
+// server-side aggregation projects each material's element set, and the
+// client groups by the full system.
+func busiestSystem(c *mpclient.Client) []string {
+	rows, err := c.Query(nil, []string{"elements"}, 0)
+	if err != nil || len(rows) == 0 {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	members := map[string][]string{}
+	for _, r := range rows {
+		var sys []string
+		for _, e := range r.GetArray("elements") {
+			if s, ok := e.(string); ok {
+				sys = append(sys, s)
+			}
+		}
+		sort.Strings(sys)
+		key := fmt.Sprint(sys)
+		counts[key]++
+		members[key] = sys
+	}
+	bestKey, best := "", 0
+	for k, n := range counts {
+		if n > best || (n == best && k < bestKey) {
+			bestKey, best = k, n
+		}
+	}
+	return members[bestKey]
+}

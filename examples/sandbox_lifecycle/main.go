@@ -1,0 +1,126 @@
+// Sandbox lifecycle: the envisioned discovery workflow of Fig. 3.
+//
+// A user takes an idea (a) through candidate MPS records (b), the
+// workflow engine (c), a private sandbox shared with a collaborator (d),
+// stability analysis (e), and public release with annotations (f).
+//
+//	go run ./examples/sandbox_lifecycle
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/dft"
+	"matproj/internal/document"
+	"matproj/internal/fireworks"
+	"matproj/internal/hpc"
+	"matproj/internal/icsd"
+	"matproj/internal/sandbox"
+)
+
+func main() {
+	store := datastore.MustOpenMemory()
+	pad := fireworks.NewLaunchPad(store, 5)
+	fireworks.RegisterVASP(pad)
+	sb := sandbox.New(store, "materials")
+
+	// (a) the idea: new sodium battery frameworks.
+	fmt.Println("(a) idea: screen Na-bearing frameworks for cathodes")
+
+	// (b) candidates serialized as MPS records.
+	recs := icsd.GenerateBatteryFrameworks(99, 5)
+	mps := store.C("mps")
+	var fws []fireworks.Firework
+	for i, r := range recs {
+		r.ID = fmt.Sprintf("mps-user-%03d", i)
+		r.Source = "user"
+		r.CreatedBy = "alice"
+		mdoc := r.ToDoc()
+		if _, err := mps.Insert(mdoc); err != nil {
+			log.Fatal(err)
+		}
+		fws = append(fws, fireworks.NewVASPFirework(mdoc, "relax", dft.DefaultParams(), 12*time.Hour))
+	}
+	fmt.Printf("(b) %d candidate crystals serialized to MPS records\n", len(recs))
+
+	// (c) computation through FireWorks on the cluster.
+	if _, err := pad.AddWorkflow(fws); err != nil {
+		log.Fatal(err)
+	}
+	cluster := hpc.NewCluster(4, 0, hpc.Policy{})
+	if _, err := fireworks.DriveCluster(pad, fireworks.NewVASPAssembler(store), cluster,
+		"alice", 2, 48*time.Hour, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(c) workflow consumed %v of virtual compute\n", cluster.Now().Round(time.Minute))
+
+	// (d) results into a private sandbox; invite a collaborator.
+	sbID, err := sb.Create("alice-na-cathodes", "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sb.AddCollaborator(sbID, "alice", "bob"); err != nil {
+		log.Fatal(err)
+	}
+	var docIDs []string
+	for _, r := range recs {
+		task, err := store.C("tasks").FindOne(
+			document.D{"result.mps_id": r.ID, "state": "successful"}, nil)
+		if err != nil {
+			continue
+		}
+		id, err := sb.Submit(sbID, "alice", document.D{
+			"pretty_formula": task.GetString("result.formula"),
+			"final_energy":   task.GetDoc("result")["final_energy"],
+			"band_gap":       task.GetDoc("result")["bandgap"],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		docIDs = append(docIDs, id)
+	}
+	fmt.Printf("(d) %d results in sandbox %s, visible to alice and bob only\n", len(docIDs), sbID)
+	if _, err := sb.List(sbID, "eve"); err != nil {
+		fmt.Printf("    eve is denied: %v\n", err)
+	}
+
+	// (e) analysis: collaborator checks which results look synthesizable.
+	docs, err := sb.List(sbID, "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept := docIDs[:0]
+	for i, d := range docs {
+		if e, ok := d.GetFloat("final_energy"); ok && e < 0 {
+			kept = append(kept, docIDs[i])
+		}
+	}
+	fmt.Printf("(e) bob's analysis keeps %d/%d bound compounds\n", len(kept), len(docs))
+
+	// (f) public release plus a community annotation.
+	released := 0
+	var firstPublic string
+	for _, id := range kept {
+		pubID, err := sb.Release(sbID, "alice", id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if firstPublic == "" {
+			firstPublic = pubID
+		}
+		released++
+	}
+	fmt.Printf("(f) %d materials released to the public core database\n", released)
+	if firstPublic != "" {
+		if _, err := sb.Annotate(firstPublic, "bob", "promising — compare to NaCoO2 layered phases"); err != nil {
+			log.Fatal(err)
+		}
+		notes, _ := sb.Annotations(firstPublic)
+		fmt.Printf("    public annotation on %s: %q\n", firstPublic, notes[0].GetString("text"))
+	}
+	n, _ := store.C("materials").Count(nil)
+	fmt.Printf("\ncore database now holds %d public materials\n", n)
+}

@@ -1,0 +1,3 @@
+module matproj
+
+go 1.22

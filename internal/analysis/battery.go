@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"matproj/internal/crystal"
+)
+
+// Battery electrode analysis: the calculation behind the paper's Fig. 1,
+// which plots screened battery materials by predicted voltage and
+// gravimetric capacity.
+
+// faradayMAhPerMol converts moles of electrons to mAh (96485 C/mol ÷ 3.6).
+const faradayMAhPerMol = 26801.4
+
+// BatteryCandidate is one screened electrode couple.
+type BatteryCandidate struct {
+	ID             string
+	Formula        string  // lithiated (discharged) formula
+	HostFormula    string  // delithiated (charged) formula
+	Ion            string  // working ion ("Li", "Na")
+	Voltage        float64 // average voltage, V
+	Capacity       float64 // gravimetric capacity, mAh/g of lithiated mass
+	SpecificEnergy float64 // Wh/kg = V * capacity
+	// Barrier is the working-ion migration barrier (eV); 0 when the
+	// geometric screen was not run. Diffusivity is the corresponding
+	// room-temperature coefficient (cm²/s).
+	Barrier     float64
+	Diffusivity float64
+}
+
+// EvaluateElectrode computes voltage and capacity for an intercalation
+// couple. lith and host are the discharged and charged compositions of
+// the SAME framework (host = lith minus working ions); eLith/eHost are
+// their total energies and eIonPerAtom the bulk metal reference of the
+// working ion.
+//
+//	V = -(E_lith - E_host - x·E_ion) / x     (x = ions transferred)
+//	C = x·F / (3.6 · M_lith)                 (mAh/g)
+func EvaluateElectrode(lith, host crystal.Composition, eLith, eHost float64, ion string, eIonPerAtom float64) (BatteryCandidate, error) {
+	x := lith.Get(ion) - host.Get(ion)
+	if x <= 0 {
+		return BatteryCandidate{}, fmt.Errorf("analysis: no %s transferred between %s and %s", ion, lith.Formula(), host.Formula())
+	}
+	// Frameworks must match once the working ion is removed.
+	if !lith.Remove(ion).Equal(host.Remove(ion)) {
+		return BatteryCandidate{}, fmt.Errorf("analysis: %s and %s differ beyond the working ion", lith.Formula(), host.Formula())
+	}
+	voltage := -(eLith - eHost - x*eIonPerAtom) / x
+	weight := lith.Weight()
+	if weight <= 0 {
+		return BatteryCandidate{}, fmt.Errorf("analysis: zero formula weight for %s", lith.Formula())
+	}
+	capacity := x * faradayMAhPerMol / weight
+	return BatteryCandidate{
+		Formula:        lith.ReducedFormula(),
+		HostFormula:    host.ReducedFormula(),
+		Ion:            ion,
+		Voltage:        voltage,
+		Capacity:       capacity,
+		SpecificEnergy: voltage * capacity,
+	}, nil
+}
+
+// WorkingIon picks the alkali working ion of a composition ("Li" or
+// "Na"), or "" when none is present.
+func WorkingIon(comp crystal.Composition) string {
+	for _, ion := range []string{"Li", "Na"} {
+		if comp.Contains(ion) {
+			return ion
+		}
+	}
+	return ""
+}
+
+// Screen evaluates a set of lithiated/host structure-energy pairs,
+// dropping couples with unphysical voltages (outside (0, 6] V) — the
+// screening filter applied before plotting Fig. 1.
+type ElectrodeInput struct {
+	ID          string
+	Lithiated   crystal.Composition
+	Host        crystal.Composition
+	ELith       float64
+	EHost       float64
+	Ion         string
+	EIonPerAtom float64
+}
+
+// Screen evaluates all inputs and keeps the physical ones.
+func Screen(inputs []ElectrodeInput) []BatteryCandidate {
+	var out []BatteryCandidate
+	for _, in := range inputs {
+		c, err := EvaluateElectrode(in.Lithiated, in.Host, in.ELith, in.EHost, in.Ion, in.EIonPerAtom)
+		if err != nil {
+			continue
+		}
+		c.ID = in.ID
+		if c.Voltage <= 0 || c.Voltage > 6 || math.IsNaN(c.Voltage) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// KnownElectrodes returns the experimentally established cathodes the
+// paper's Fig. 1 marks as "known materials", occupying a comparatively
+// narrow property band. Voltages/capacities are the accepted
+// experimental values (V, mAh/g).
+func KnownElectrodes() []BatteryCandidate {
+	return []BatteryCandidate{
+		{Formula: "LiCoO2", Ion: "Li", Voltage: 3.9, Capacity: 140, SpecificEnergy: 3.9 * 140},
+		{Formula: "LiFePO4", Ion: "Li", Voltage: 3.45, Capacity: 170, SpecificEnergy: 3.45 * 170},
+		{Formula: "LiMn2O4", Ion: "Li", Voltage: 4.1, Capacity: 120, SpecificEnergy: 4.1 * 120},
+		{Formula: "LiNiO2", Ion: "Li", Voltage: 3.8, Capacity: 150, SpecificEnergy: 3.8 * 150},
+		{Formula: "LiMnO2", Ion: "Li", Voltage: 3.0, Capacity: 190, SpecificEnergy: 3.0 * 190},
+		{Formula: "LiNi0.5Mn1.5O4", Ion: "Li", Voltage: 4.7, Capacity: 135, SpecificEnergy: 4.7 * 135},
+	}
+}

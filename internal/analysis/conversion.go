@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"matproj/internal/crystal"
+)
+
+// Conversion electrodes: alongside the ~400 intercalation batteries, the
+// paper's datastore held ~14,000 *conversion* batteries — electrodes that
+// react rather than intercalate: MaXb + x·Li → a·M + b·LiₙX. This file
+// evaluates that reaction's average voltage and capacity from a
+// composition-level energy model.
+
+// EnergyFunc evaluates the model total energy of a composition (eV).
+type EnergyFunc func(crystal.Composition) float64
+
+// anionValence maps anions to n in the fully reduced binary LiₙX.
+var anionValence = map[string]int{
+	"O": 2, "S": 2, "Se": 2, "Te": 2,
+	"F": 1, "Cl": 1, "Br": 1, "I": 1,
+	"N": 3, "P": 3,
+}
+
+// ConversionElectrode evaluates the full conversion of host against the
+// working ion:
+//
+//	MaXb + n·b·Ion → a·M + b·IonₙX
+//
+// where X is the host's most electronegative element and n its valence.
+// The host must not already contain the working ion. Voltage is the
+// average over the full reaction; capacity is per gram of host.
+func ConversionElectrode(host crystal.Composition, ion string, energyOf EnergyFunc, eIonPerAtom float64) (BatteryCandidate, error) {
+	if energyOf == nil {
+		return BatteryCandidate{}, fmt.Errorf("analysis: nil energy function")
+	}
+	if host.Contains(ion) {
+		return BatteryCandidate{}, fmt.Errorf("analysis: host %s already contains %s", host.Formula(), ion)
+	}
+	elems := host.Elements()
+	if len(elems) < 2 {
+		return BatteryCandidate{}, fmt.Errorf("analysis: conversion host %s must be a compound", host.Formula())
+	}
+	// The anion is the most electronegative constituent with a known
+	// valence.
+	anion := ""
+	bestChi := -1.0
+	for _, el := range elems {
+		if _, ok := anionValence[el]; !ok {
+			continue
+		}
+		chi := crystal.MustElement(el).Electronegativity
+		if chi > bestChi {
+			bestChi = chi
+			anion = el
+		}
+	}
+	if anion == "" {
+		return BatteryCandidate{}, fmt.Errorf("analysis: host %s has no convertible anion", host.Formula())
+	}
+	n := anionValence[anion]
+	b := host.Get(anion)
+	x := float64(n) * b // ions transferred per host formula unit
+
+	// Reaction energy: products minus reactants.
+	eHost := energyOf(host)
+	eProducts := 0.0
+	for _, el := range elems {
+		if el == anion {
+			continue
+		}
+		eProducts += energyOf(crystal.Composition{el: 1}) * host.Get(el)
+	}
+	lithiated := crystal.Composition{ion: float64(n), anion: 1}
+	eProducts += energyOf(lithiated) * b
+	dE := eProducts - (eHost + x*eIonPerAtom)
+	voltage := -dE / x
+	weight := host.Weight()
+	if weight <= 0 {
+		return BatteryCandidate{}, fmt.Errorf("analysis: zero host weight")
+	}
+	capacity := x * faradayMAhPerMol / weight
+	if math.IsNaN(voltage) || math.IsInf(voltage, 0) {
+		return BatteryCandidate{}, fmt.Errorf("analysis: non-finite voltage for %s", host.Formula())
+	}
+	return BatteryCandidate{
+		Formula:        host.ReducedFormula(),
+		HostFormula:    host.ReducedFormula(),
+		Ion:            ion,
+		Voltage:        voltage,
+		Capacity:       capacity,
+		SpecificEnergy: voltage * capacity,
+	}, nil
+}
+
+// ScreenConversion evaluates conversion couples for a set of hosts,
+// keeping those with physical voltages (0–4.5 V is the realistic
+// conversion window).
+func ScreenConversion(hosts []crystal.Composition, ion string, energyOf EnergyFunc, eIonPerAtom float64) []BatteryCandidate {
+	var out []BatteryCandidate
+	for i, h := range hosts {
+		c, err := ConversionElectrode(h, ion, energyOf, eIonPerAtom)
+		if err != nil {
+			continue
+		}
+		if c.Voltage <= 0 || c.Voltage > 4.5 {
+			continue
+		}
+		c.ID = fmt.Sprintf("conv-%04d", i)
+		out = append(out, c)
+	}
+	return out
+}

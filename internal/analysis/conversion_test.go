@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"matproj/internal/crystal"
+	"matproj/internal/dft"
+)
+
+func TestConversionElectrodeFeO(t *testing.T) {
+	// FeO + 2 Li → Fe + Li2O with the shared model energy.
+	host := crystal.MustParseFormula("FeO")
+	c, err := ConversionElectrode(host, "Li", dft.CompositionEnergy, dft.ElementalEnergy("Li"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Voltage <= 0 || c.Voltage > 5 {
+		t.Errorf("voltage = %v", c.Voltage)
+	}
+	// FeO conversion: 2 Li per 71.8 g/mol → ~746 mAh/g theoretical.
+	want := 2 * 26801.4 / host.Weight()
+	if math.Abs(c.Capacity-want) > 1e-6 {
+		t.Errorf("capacity = %v, want %v", c.Capacity, want)
+	}
+	if c.Capacity < 500 {
+		t.Errorf("conversion capacity %v suspiciously low", c.Capacity)
+	}
+	if c.Ion != "Li" || c.Formula != "FeO" {
+		t.Errorf("candidate = %+v", c)
+	}
+}
+
+func TestConversionBeatsIntercalationOnCapacity(t *testing.T) {
+	// The defining property of conversion chemistry: much higher
+	// gravimetric capacity than intercalation (FeO ~746 vs LiFePO4 ~170).
+	host := crystal.MustParseFormula("FeO")
+	conv, err := ConversionElectrode(host, "Li", dft.CompositionEnergy, dft.ElementalEnergy("Li"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Capacity < 3*170 {
+		t.Errorf("conversion capacity %v should dwarf intercalation ~170", conv.Capacity)
+	}
+}
+
+func TestConversionElectrodeErrors(t *testing.T) {
+	e := dft.CompositionEnergy
+	li := dft.ElementalEnergy("Li")
+	if _, err := ConversionElectrode(crystal.MustParseFormula("LiFeO2"), "Li", e, li); err == nil {
+		t.Error("lithiated host accepted")
+	}
+	if _, err := ConversionElectrode(crystal.MustParseFormula("Fe"), "Li", e, li); err == nil {
+		t.Error("elemental host accepted")
+	}
+	if _, err := ConversionElectrode(crystal.MustParseFormula("FeNi"), "Li", e, li); err == nil {
+		t.Error("anion-free host accepted")
+	}
+	if _, err := ConversionElectrode(crystal.MustParseFormula("FeO"), "Li", nil, li); err == nil {
+		t.Error("nil energy fn accepted")
+	}
+}
+
+func TestScreenConversion(t *testing.T) {
+	hosts := []crystal.Composition{
+		crystal.MustParseFormula("FeO"),
+		crystal.MustParseFormula("CoO"),
+		crystal.MustParseFormula("NiO"),
+		crystal.MustParseFormula("Fe2O3"),
+		crystal.MustParseFormula("FeF2"),
+		crystal.MustParseFormula("Fe"),     // rejected: no anion
+		crystal.MustParseFormula("LiFeO2"), // rejected: has Li
+	}
+	out := ScreenConversion(hosts, "Li", dft.CompositionEnergy, dft.ElementalEnergy("Li"))
+	if len(out) < 3 {
+		t.Fatalf("survivors = %d", len(out))
+	}
+	for _, c := range out {
+		if c.Voltage <= 0 || c.Voltage > 4.5 {
+			t.Errorf("%s voltage %v outside window", c.Formula, c.Voltage)
+		}
+		if c.ID == "" {
+			t.Error("missing id")
+		}
+	}
+	// Fluoride conversions run at higher voltage than oxides in the model
+	// (F is more electronegative).
+	var vF, vO float64
+	for _, c := range out {
+		if c.Formula == "FeF2" {
+			vF = c.Voltage
+		}
+		if c.Formula == "FeO" {
+			vO = c.Voltage
+		}
+	}
+	if vF != 0 && vO != 0 && vF <= vO {
+		t.Errorf("FeF2 (%v V) should exceed FeO (%v V)", vF, vO)
+	}
+}

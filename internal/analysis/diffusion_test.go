@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"matproj/internal/crystal"
+)
+
+// frameworkWithLi builds a cubic cell with Li at given fractional spots
+// and an O framework.
+func frameworkWithLi(a float64, li []crystal.Vec3, o []crystal.Vec3) *crystal.Structure {
+	st := &crystal.Structure{Lattice: crystal.CubicLattice(a)}
+	for _, f := range li {
+		st.Sites = append(st.Sites, crystal.Site{Species: "Li", Frac: f})
+	}
+	for _, f := range o {
+		st.Sites = append(st.Sites, crystal.Site{Species: "O", Frac: f})
+	}
+	return st
+}
+
+func TestDiffusionBarrierBasics(t *testing.T) {
+	st := frameworkWithLi(8,
+		[]crystal.Vec3{{0, 0, 0}, {0.5, 0, 0}},
+		[]crystal.Vec3{{0.25, 0.3, 0}, {0.75, 0.3, 0}})
+	hop, err := DiffusionBarrier(st, "Li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hop.HopDistance-4.0) > 1e-9 {
+		t.Errorf("hop = %v, want 4.0", hop.HopDistance)
+	}
+	// Midpoint (0.25, 0, 0); nearest O at (0.25, 0.3, 0) → 2.4 Å.
+	if math.Abs(hop.Bottleneck-2.4) > 1e-9 {
+		t.Errorf("bottleneck = %v, want 2.4", hop.Bottleneck)
+	}
+	if hop.Barrier < 0.05 || hop.Barrier > 3 {
+		t.Errorf("barrier = %v outside clamp", hop.Barrier)
+	}
+	if hop.Ion != "Li" {
+		t.Errorf("ion = %s", hop.Ion)
+	}
+}
+
+func TestTighterBottleneckRaisesBarrier(t *testing.T) {
+	open := frameworkWithLi(8,
+		[]crystal.Vec3{{0, 0, 0}, {0.5, 0, 0}},
+		[]crystal.Vec3{{0.25, 0.35, 0}})
+	tight := frameworkWithLi(8,
+		[]crystal.Vec3{{0, 0, 0}, {0.5, 0, 0}},
+		[]crystal.Vec3{{0.25, 0.12, 0}})
+	ho, err := DiffusionBarrier(open, "Li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := DiffusionBarrier(tight, "Li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht.Barrier <= ho.Barrier {
+		t.Errorf("tight barrier %v <= open %v", ht.Barrier, ho.Barrier)
+	}
+}
+
+func TestSingleIonHopsToPeriodicImage(t *testing.T) {
+	st := frameworkWithLi(5,
+		[]crystal.Vec3{{0, 0, 0}},
+		[]crystal.Vec3{{0.5, 0.5, 0.5}})
+	hop, err := DiffusionBarrier(st, "Li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shortest self-image hop in a 5 Å cube is 5 Å.
+	if math.Abs(hop.HopDistance-5) > 1e-9 {
+		t.Errorf("hop = %v", hop.HopDistance)
+	}
+}
+
+func TestDiffusionBarrierErrors(t *testing.T) {
+	st := frameworkWithLi(5, nil, []crystal.Vec3{{0, 0, 0}})
+	if _, err := DiffusionBarrier(st, "Li"); err == nil {
+		t.Error("no-ion structure accepted")
+	}
+	pure := frameworkWithLi(5, []crystal.Vec3{{0, 0, 0}}, nil)
+	if _, err := DiffusionBarrier(pure, "Li"); err == nil {
+		t.Error("pure-ion structure accepted")
+	}
+	if _, err := DiffusionBarrier(st, "Zz"); err == nil {
+		t.Error("unknown ion accepted")
+	}
+}
+
+func TestDiffusivityArrhenius(t *testing.T) {
+	d300 := Diffusivity(0.3, 300)
+	d600 := Diffusivity(0.3, 600)
+	if d600 <= d300 {
+		t.Error("diffusivity must increase with temperature")
+	}
+	dHigh := Diffusivity(0.6, 300)
+	if dHigh >= d300 {
+		t.Error("diffusivity must decrease with barrier")
+	}
+	// Physical magnitude at 0.3 eV / 300 K: ~1e-3 * exp(-11.6) ≈ 9e-9.
+	if d300 < 1e-10 || d300 > 1e-6 {
+		t.Errorf("D(0.3 eV, 300K) = %g outside sane range", d300)
+	}
+	if Diffusivity(0.3, 0) != 0 || Diffusivity(0.3, -5) != 0 {
+		t.Error("non-positive temperature should yield 0")
+	}
+}
+
+func TestBarrierOnGeneratedFramework(t *testing.T) {
+	// Real pipeline structures (olivine-like) should produce a finite,
+	// physical barrier.
+	st := &crystal.Structure{Lattice: crystal.CubicLattice(10)}
+	st.Sites = []crystal.Site{
+		{Species: "Li", Frac: crystal.Vec3{0, 0, 0}},
+		{Species: "Fe", Frac: crystal.Vec3{0.28, 0.25, 0.98}},
+		{Species: "P", Frac: crystal.Vec3{0.09, 0.25, 0.42}},
+		{Species: "O", Frac: crystal.Vec3{0.10, 0.25, 0.74}},
+		{Species: "O", Frac: crystal.Vec3{0.46, 0.25, 0.21}},
+	}
+	hop, err := DiffusionBarrier(st, "Li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop.Barrier <= 0 || hop.Barrier > 3 {
+		t.Errorf("barrier = %v", hop.Barrier)
+	}
+	if Diffusivity(hop.Barrier, 300) <= 0 {
+		t.Error("zero diffusivity")
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+
+	"matproj/internal/dft"
+	"matproj/internal/document"
+)
+
+// Document forms for the derived-property collections (§III-B3: "Each
+// type of calculated properties is given its own collection").
+
+// BandStructureToDoc serializes a band structure for the bandstructures
+// collection.
+func BandStructureToDoc(materialID string, bs *dft.BandStructure) document.D {
+	bands := make([]any, len(bs.Bands))
+	for i, band := range bs.Bands {
+		vals := make([]any, len(band))
+		for j, v := range band {
+			vals[j] = v
+		}
+		bands[i] = vals
+	}
+	kpath := make([]any, len(bs.KPath))
+	for i, k := range bs.KPath {
+		kpath[i] = k
+	}
+	return document.D{
+		"material_id": materialID,
+		"formula":     bs.Formula,
+		"band_gap":    bs.Gap,
+		"is_metal":    bs.Gap == 0,
+		"nbands":      int64(len(bs.Bands)),
+		"kpath":       kpath,
+		"bands":       bands,
+	}
+}
+
+// BandStructureFromDoc reverses BandStructureToDoc.
+func BandStructureFromDoc(d document.D) (*dft.BandStructure, error) {
+	bs := &dft.BandStructure{Formula: d.GetString("formula")}
+	if g, ok := d.GetFloat("band_gap"); ok {
+		bs.Gap = g
+	}
+	for _, k := range d.GetArray("kpath") {
+		s, ok := k.(string)
+		if !ok {
+			return nil, fmt.Errorf("analysis: kpath entry not a string")
+		}
+		bs.KPath = append(bs.KPath, s)
+	}
+	for i, bandAny := range d.GetArray("bands") {
+		arr, ok := bandAny.([]any)
+		if !ok {
+			return nil, fmt.Errorf("analysis: band %d malformed", i)
+		}
+		band := make([]float64, len(arr))
+		for j, v := range arr {
+			f, ok := document.AsFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("analysis: band %d value %d not numeric", i, j)
+			}
+			band[j] = f
+		}
+		bs.Bands = append(bs.Bands, band)
+	}
+	if len(bs.Bands) == 0 {
+		return nil, fmt.Errorf("analysis: band structure doc has no bands")
+	}
+	return bs, nil
+}
+
+// XRDToDoc serializes a diffraction pattern for the xrd collection.
+func XRDToDoc(materialID, formula string, wavelength float64, peaks []Peak) document.D {
+	list := make([]any, len(peaks))
+	for i, p := range peaks {
+		list[i] = map[string]any{
+			"two_theta": p.TwoTheta,
+			"intensity": p.Intensity,
+			"hkl":       []any{int64(p.HKL[0]), int64(p.HKL[1]), int64(p.HKL[2])},
+			"d":         p.DSpacing,
+		}
+	}
+	return document.D{
+		"material_id": materialID,
+		"formula":     formula,
+		"wavelength":  wavelength,
+		"peaks":       list,
+		"npeaks":      int64(len(peaks)),
+	}
+}
+
+// BatteryToDoc serializes a screened electrode for the batteries
+// collection, in the voltage-pair shape of the production battery
+// prototype documents (Table I's "Battery prototypes").
+func BatteryToDoc(c BatteryCandidate) document.D {
+	return document.D{
+		"battery_id":           c.ID,
+		"formula":              c.Formula,
+		"working_ion":          c.Ion,
+		"voltage":              c.Voltage,
+		"capacity":             c.Capacity,
+		"specific_energy":      c.SpecificEnergy,
+		"diffusion_barrier_ev": c.Barrier,
+		"diffusivity_cm2s":     c.Diffusivity,
+		"voltage_pairs": []any{map[string]any{
+			"voltage":           c.Voltage,
+			"capacity":          c.Capacity,
+			"formula_discharge": c.Formula,
+			"formula_charge":    c.HostFormula,
+		}},
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+
+	"matproj/internal/dft"
+	"matproj/internal/document"
+)
+
+func TestBandStructureDocRoundTrip(t *testing.T) {
+	bs := &dft.BandStructure{
+		Formula: "LiF",
+		Gap:     4.2,
+		KPath:   []string{"G", "X", "M"},
+		Bands:   [][]float64{{-1, -0.5, -1}, {3.2, 3.5, 3.2}},
+	}
+	d := BandStructureToDoc("mat-1", bs)
+	if d["material_id"] != "mat-1" || d["is_metal"] != false {
+		t.Errorf("doc = %v", d)
+	}
+	if n, _ := d.GetInt("nbands"); n != 2 {
+		t.Errorf("nbands = %d", n)
+	}
+	back, err := BandStructureFromDoc(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Formula != "LiF" || back.Gap != 4.2 {
+		t.Errorf("back = %+v", back)
+	}
+	if len(back.Bands) != 2 || back.Bands[1][1] != 3.5 {
+		t.Errorf("bands = %v", back.Bands)
+	}
+	if len(back.KPath) != 3 || back.KPath[2] != "M" {
+		t.Errorf("kpath = %v", back.KPath)
+	}
+	// Metal flag.
+	metal := BandStructureToDoc("mat-2", &dft.BandStructure{Formula: "Fe", Bands: [][]float64{{0}}})
+	if metal["is_metal"] != true {
+		t.Error("metal flag wrong")
+	}
+}
+
+func TestBandStructureFromDocErrors(t *testing.T) {
+	bad := []document.D{
+		document.MustFromJSON(`{"formula": "x"}`),
+		document.MustFromJSON(`{"formula": "x", "bands": [3]}`),
+		document.MustFromJSON(`{"formula": "x", "bands": [["a"]]}`),
+		document.MustFromJSON(`{"formula": "x", "bands": [[1]], "kpath": [3]}`),
+	}
+	for i, d := range bad {
+		if _, err := BandStructureFromDoc(d); err == nil {
+			t.Errorf("doc %d accepted", i)
+		}
+	}
+}
+
+func TestXRDToDoc(t *testing.T) {
+	peaks := []Peak{
+		{TwoTheta: 15.7, Intensity: 100, HKL: [3]int{1, 0, 0}, DSpacing: 5.64},
+		{TwoTheta: 31.7, Intensity: 40, HKL: [3]int{2, 0, 0}, DSpacing: 2.82},
+	}
+	d := XRDToDoc("mat-1", "NaCl", CuKAlpha, peaks)
+	if n, _ := d.GetInt("npeaks"); n != 2 {
+		t.Errorf("npeaks = %d", n)
+	}
+	if v, _ := d.GetFloat("peaks.0.two_theta"); v != 15.7 {
+		t.Errorf("first peak = %v", v)
+	}
+	if v, _ := d.GetFloat("peaks.1.hkl.0"); v != 2 {
+		t.Errorf("hkl = %v", v)
+	}
+}
+
+func TestBatteryToDoc(t *testing.T) {
+	d := BatteryToDoc(BatteryCandidate{
+		ID: "bat-1", Formula: "LiFePO4", HostFormula: "FePO4",
+		Ion: "Li", Voltage: 3.45, Capacity: 170, SpecificEnergy: 586.5,
+	})
+	if d["working_ion"] != "Li" || d["voltage"] != 3.45 {
+		t.Errorf("doc = %v", d)
+	}
+	if d["battery_id"] != "bat-1" {
+		t.Error("id missing")
+	}
+	if v, _ := d.GetFloat("voltage_pairs.0.voltage"); v != 3.45 {
+		t.Errorf("voltage pair = %v", v)
+	}
+	if d.GetString("voltage_pairs.0.formula_charge") != "FePO4" {
+		t.Error("charge formula missing")
+	}
+}

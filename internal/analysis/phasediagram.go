@@ -1,0 +1,283 @@
+// Package analysis is the open analytics platform of the reproduction —
+// the role pymatgen plays in the paper (§III-D3): a materials object
+// model with "a well-tested set of structure and thermodynamic analysis
+// tools". It provides convex-hull phase diagrams (stability analysis),
+// the battery electrode analyzer behind Fig. 1, X-ray diffraction
+// patterns, and band-structure document forms.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"matproj/internal/crystal"
+)
+
+// Entry is one point on a phase diagram: a composition with its computed
+// total energy (eV per formula unit as given).
+type Entry struct {
+	ID          string
+	Composition crystal.Composition
+	Energy      float64 // total energy of the given composition
+}
+
+// EnergyPerAtom returns the entry's energy per atom.
+func (e Entry) EnergyPerAtom() float64 {
+	n := e.Composition.NumAtoms()
+	if n == 0 {
+		return 0
+	}
+	return e.Energy / n
+}
+
+// PhaseDiagram computes thermodynamic stability over a chemical system
+// via the convex hull of formation energies, the analysis "to determine
+// the stability and ... synthesis potential of the new materials" in the
+// paper's Fig. 3 narrative.
+type PhaseDiagram struct {
+	Elements []string
+	entries  []Entry
+	// refs holds the elemental reference energy per atom for each element.
+	refs map[string]float64
+	// ef caches formation energies per atom, parallel to entries.
+	ef []float64
+}
+
+// NewPhaseDiagram builds a phase diagram from entries. Every element
+// appearing in any entry must have at least one pure-element entry to
+// serve as its reference; the lowest-energy-per-atom elemental entry is
+// chosen.
+func NewPhaseDiagram(entries []Entry) (*PhaseDiagram, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("analysis: no entries")
+	}
+	elemSet := map[string]bool{}
+	refs := map[string]float64{}
+	hasRef := map[string]bool{}
+	for _, e := range entries {
+		syms := e.Composition.Elements()
+		if len(syms) == 0 {
+			return nil, fmt.Errorf("analysis: entry %q has empty composition", e.ID)
+		}
+		for _, s := range syms {
+			elemSet[s] = true
+		}
+		if len(syms) == 1 {
+			epa := e.EnergyPerAtom()
+			if !hasRef[syms[0]] || epa < refs[syms[0]] {
+				refs[syms[0]] = epa
+				hasRef[syms[0]] = true
+			}
+		}
+	}
+	var elems []string
+	for s := range elemSet {
+		if !hasRef[s] {
+			return nil, fmt.Errorf("analysis: no elemental reference entry for %s", s)
+		}
+		elems = append(elems, s)
+	}
+	sort.Strings(elems)
+	pd := &PhaseDiagram{Elements: elems, entries: entries, refs: refs}
+	pd.ef = make([]float64, len(entries))
+	for i, e := range entries {
+		pd.ef[i] = pd.FormationEnergyPerAtom(e)
+	}
+	return pd, nil
+}
+
+// FormationEnergyPerAtom is the entry's energy per atom minus the
+// composition-weighted elemental references. Stable compounds are
+// negative; elemental references are zero by construction.
+func (pd *PhaseDiagram) FormationEnergyPerAtom(e Entry) float64 {
+	n := e.Composition.NumAtoms()
+	if n == 0 {
+		return 0
+	}
+	ref := 0.0
+	for sym, amt := range e.Composition {
+		ref += pd.refs[sym] * amt
+	}
+	return (e.Energy - ref) / n
+}
+
+// HullEnergyPerAtom returns the convex-hull (lower envelope) formation
+// energy at the given composition: the minimum composition-weighted
+// mixture of entries that reproduces it. The LP is solved exactly by
+// enumerating basic feasible solutions (subsets of at most D entries,
+// where D is the number of elements), which is exact for the small
+// chemical systems materials screening works with.
+func (pd *PhaseDiagram) HullEnergyPerAtom(comp crystal.Composition) (float64, error) {
+	frac := comp.Fractional()
+	target := make([]float64, len(pd.Elements))
+	for i, el := range pd.Elements {
+		target[i] = frac[el]
+	}
+	for el := range frac {
+		known := false
+		for _, pe := range pd.Elements {
+			if pe == el {
+				known = true
+			}
+		}
+		if !known {
+			return 0, fmt.Errorf("analysis: composition element %s outside phase diagram system %v", el, pd.Elements)
+		}
+	}
+	// Candidate vectors: each entry's fractional composition.
+	cands := make([]cand, len(pd.entries))
+	for i, e := range pd.entries {
+		f := e.Composition.Fractional()
+		x := make([]float64, len(pd.Elements))
+		for j, el := range pd.Elements {
+			x[j] = f[el]
+		}
+		cands[i] = cand{x: x, ef: pd.ef[i]}
+	}
+	d := len(pd.Elements)
+	best := math.Inf(1)
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) > 0 {
+			if v, ok := mixValue(cands, chosen, target); ok && v < best {
+				best = v
+			}
+		}
+		if len(chosen) == d {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			rec(i+1, append(chosen, i))
+		}
+	}
+	rec(0, nil)
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("analysis: no feasible decomposition for %s", comp.Formula())
+	}
+	return best, nil
+}
+
+// cand is one hull candidate: an entry's fractional composition vector
+// and formation energy per atom.
+type cand struct {
+	x  []float64
+	ef float64
+}
+
+// mixValue solves for nonnegative weights of the chosen candidates that
+// reproduce the target composition exactly, returning the mixture's
+// formation energy. ok is false when infeasible.
+func mixValue(cands []cand, chosen []int, target []float64) (float64, bool) {
+	m := len(chosen)
+	d := len(target)
+	// Least squares via normal equations: A (d×m) λ = target.
+	ata := make([][]float64, m)
+	atb := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ata[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			var s float64
+			for k := 0; k < d; k++ {
+				s += cands[chosen[i]].x[k] * cands[chosen[j]].x[k]
+			}
+			ata[i][j] = s
+		}
+		var s float64
+		for k := 0; k < d; k++ {
+			s += cands[chosen[i]].x[k] * target[k]
+		}
+		atb[i] = s
+	}
+	lambda, ok := solveLinear(ata, atb)
+	if !ok {
+		return 0, false
+	}
+	const eps = 1e-9
+	var value float64
+	residual := make([]float64, d)
+	copy(residual, target)
+	for i, li := range lambda {
+		if li < -eps {
+			return 0, false
+		}
+		if li < 0 {
+			li = 0
+		}
+		value += li * cands[chosen[i]].ef
+		for k := 0; k < d; k++ {
+			residual[k] -= li * cands[chosen[i]].x[k]
+		}
+	}
+	for _, r := range residual {
+		if math.Abs(r) > 1e-7 {
+			return 0, false
+		}
+	}
+	return value, true
+}
+
+// solveLinear solves a small symmetric system by Gaussian elimination
+// with partial pivoting. ok is false for singular systems.
+func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, true
+}
+
+// EAboveHull is the entry's formation energy above the hull (eV/atom):
+// zero for stable phases, positive for metastable/unstable ones.
+func (pd *PhaseDiagram) EAboveHull(e Entry) (float64, error) {
+	hull, err := pd.HullEnergyPerAtom(e.Composition)
+	if err != nil {
+		return 0, err
+	}
+	d := pd.FormationEnergyPerAtom(e) - hull
+	if d < 0 && d > -1e-9 {
+		d = 0
+	}
+	return d, nil
+}
+
+// StableEntries returns the entries on the hull (e_above_hull ≈ 0).
+func (pd *PhaseDiagram) StableEntries() ([]Entry, error) {
+	var out []Entry
+	for _, e := range pd.entries {
+		above, err := pd.EAboveHull(e)
+		if err != nil {
+			return nil, err
+		}
+		if above < 1e-8 {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"matproj/internal/crystal"
+)
+
+// X-ray diffraction pattern calculation — one of the calculated property
+// types the datastore stores and the Web UI visualizes ("pan and zoom
+// real-time visualizations of bandstructures, diffraction patterns").
+
+// CuKAlpha is the standard Cu Kα wavelength in Å.
+const CuKAlpha = 1.5406
+
+// Peak is one diffraction peak.
+type Peak struct {
+	TwoTheta  float64 // degrees
+	Intensity float64 // normalized, max = 100
+	HKL       [3]int
+	DSpacing  float64 // Å
+}
+
+// XRDPattern computes the powder diffraction pattern of a structure for
+// the given wavelength (Å), scanning Miller indices up to maxIndex.
+// Peaks at the same angle merge; intensities use the kinematic structure
+// factor with atomic form factors approximated by atomic number.
+func XRDPattern(st *crystal.Structure, wavelength float64, maxIndex int) []Peak {
+	if maxIndex < 1 {
+		maxIndex = 1
+	}
+	type bucket struct {
+		intensity float64
+		hkl       [3]int
+		d         float64
+	}
+	buckets := map[int]*bucket{} // keyed by rounded 2θ·100
+	for h := -maxIndex; h <= maxIndex; h++ {
+		for k := -maxIndex; k <= maxIndex; k++ {
+			for l := -maxIndex; l <= maxIndex; l++ {
+				if h == 0 && k == 0 && l == 0 {
+					continue
+				}
+				d := st.Lattice.DSpacing(h, k, l)
+				sinTheta := wavelength / (2 * d)
+				if sinTheta > 1 || sinTheta <= 0 {
+					continue // beyond the measurable range
+				}
+				theta := math.Asin(sinTheta)
+				twoTheta := 2 * theta * 180 / math.Pi
+				// Structure factor F = Σ f_j exp(2πi (h·x_j)).
+				var re, im float64
+				for _, site := range st.Sites {
+					f := float64(crystal.MustElement(site.Species).Z)
+					phase := 2 * math.Pi * (float64(h)*site.Frac[0] + float64(k)*site.Frac[1] + float64(l)*site.Frac[2])
+					re += f * math.Cos(phase)
+					im += f * math.Sin(phase)
+				}
+				inten := re*re + im*im
+				if inten < 1e-6 {
+					continue
+				}
+				// Lorentz-polarization factor.
+				lp := (1 + math.Cos(2*theta)*math.Cos(2*theta)) /
+					(math.Sin(theta) * math.Sin(theta) * math.Cos(theta))
+				inten *= lp
+				key := int(math.Round(twoTheta * 100))
+				if b, ok := buckets[key]; ok {
+					b.intensity += inten
+				} else {
+					buckets[key] = &bucket{intensity: inten, hkl: [3]int{h, k, l}, d: d}
+				}
+			}
+		}
+	}
+	if len(buckets) == 0 {
+		return nil
+	}
+	var peaks []Peak
+	maxI := 0.0
+	for key, b := range buckets {
+		p := Peak{TwoTheta: float64(key) / 100, Intensity: b.intensity, HKL: b.hkl, DSpacing: b.d}
+		peaks = append(peaks, p)
+		if b.intensity > maxI {
+			maxI = b.intensity
+		}
+	}
+	for i := range peaks {
+		peaks[i].Intensity = peaks[i].Intensity / maxI * 100
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].TwoTheta < peaks[j].TwoTheta })
+	// Drop noise peaks below 0.1% after normalization.
+	out := peaks[:0]
+	for _, p := range peaks {
+		if p.Intensity >= 0.1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}

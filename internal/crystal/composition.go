@@ -1,0 +1,339 @@
+package crystal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Composition is a multiset of elements: symbol -> amount (amounts may be
+// fractional for disordered compositions, but the generator only produces
+// integral ones).
+type Composition map[string]float64
+
+// ParseFormula parses a chemical formula such as "Fe2O3", "LiFePO4", or
+// "Ca(OH)2" (with nested parentheses) into a Composition. Unknown element
+// symbols are errors.
+func ParseFormula(formula string) (Composition, error) {
+	comp := Composition{}
+	amount, rest, err := parseGroup(formula)
+	if err != nil {
+		return nil, fmt.Errorf("crystal: formula %q: %w", formula, err)
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("crystal: formula %q: trailing input %q", formula, rest)
+	}
+	for sym, n := range amount {
+		comp[sym] += n
+	}
+	if len(comp) == 0 {
+		return nil, fmt.Errorf("crystal: formula %q: empty", formula)
+	}
+	return comp, nil
+}
+
+// MustParseFormula panics on parse errors; for static data.
+func MustParseFormula(formula string) Composition {
+	c, err := ParseFormula(formula)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// parseGroup parses a sequence of element/parenthesized terms until end of
+// input or an unmatched ')'. It returns the accumulated composition and
+// unconsumed input (starting at the ')' if one terminated the group).
+func parseGroup(s string) (Composition, string, error) {
+	comp := Composition{}
+	for len(s) > 0 {
+		switch {
+		case s[0] == ')':
+			return comp, s, nil
+		case s[0] == '(':
+			inner, rest, err := parseGroup(s[1:])
+			if err != nil {
+				return nil, "", err
+			}
+			if len(rest) == 0 || rest[0] != ')' {
+				return nil, "", fmt.Errorf("unbalanced parentheses")
+			}
+			rest = rest[1:]
+			mult, rest2 := parseCount(rest)
+			for sym, n := range inner {
+				comp[sym] += n * mult
+			}
+			s = rest2
+		default:
+			sym, rest, err := parseSymbol(s)
+			if err != nil {
+				return nil, "", err
+			}
+			count, rest2 := parseCount(rest)
+			comp[sym] += count
+			s = rest2
+		}
+	}
+	return comp, "", nil
+}
+
+// parseSymbol consumes one element symbol: an uppercase letter optionally
+// followed by lowercase letters, greedily matching the longest known
+// symbol.
+func parseSymbol(s string) (string, string, error) {
+	if len(s) == 0 || s[0] < 'A' || s[0] > 'Z' {
+		return "", "", fmt.Errorf("expected element symbol at %q", s)
+	}
+	end := 1
+	for end < len(s) && s[end] >= 'a' && s[end] <= 'z' {
+		end++
+	}
+	// Longest valid symbol wins: try the full run, then shorten.
+	for l := end; l >= 1; l-- {
+		if IsElement(s[:l]) {
+			return s[:l], s[l:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unknown element symbol at %q", s[:end])
+}
+
+// parseCount consumes an optional (possibly fractional) multiplier,
+// defaulting to 1.
+func parseCount(s string) (float64, string) {
+	end := 0
+	for end < len(s) && (s[end] >= '0' && s[end] <= '9' || s[end] == '.') {
+		end++
+	}
+	if end == 0 {
+		return 1, s
+	}
+	n, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 1, s
+	}
+	return n, s[end:]
+}
+
+// Elements returns the element symbols present, sorted alphabetically.
+func (c Composition) Elements() []string {
+	out := make([]string, 0, len(c))
+	for sym, n := range c {
+		if n > 0 {
+			out = append(out, sym)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumAtoms is the total atom count.
+func (c Composition) NumAtoms() float64 {
+	var n float64
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// NumElectrons is the total electron count, assuming neutral atoms — the
+// quantity the paper's example job-selection query filters on
+// (nelectrons: {$lte: 200}).
+func (c Composition) NumElectrons() float64 {
+	var n float64
+	for sym, v := range c {
+		if e, ok := bySymbol[sym]; ok {
+			n += float64(e.Z) * v
+		}
+	}
+	return n
+}
+
+// Weight is the formula weight in atomic mass units (g/mol).
+func (c Composition) Weight() float64 {
+	var w float64
+	for sym, v := range c {
+		if e, ok := bySymbol[sym]; ok {
+			w += e.Mass * v
+		}
+	}
+	return w
+}
+
+// Get returns the amount of an element (0 if absent).
+func (c Composition) Get(symbol string) float64 { return c[symbol] }
+
+// Contains reports whether all listed elements are present.
+func (c Composition) Contains(symbols ...string) bool {
+	for _, s := range symbols {
+		if c[s] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a new composition with amt of symbol added.
+func (c Composition) Add(symbol string, amt float64) Composition {
+	out := c.Clone()
+	out[symbol] += amt
+	if out[symbol] <= 1e-12 {
+		delete(out, symbol)
+	}
+	return out
+}
+
+// Remove returns a new composition without the given element.
+func (c Composition) Remove(symbol string) Composition {
+	out := c.Clone()
+	delete(out, symbol)
+	return out
+}
+
+// Clone deep-copies the composition.
+func (c Composition) Clone() Composition {
+	out := make(Composition, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Fractional returns the composition normalized to unit total.
+func (c Composition) Fractional() Composition {
+	total := c.NumAtoms()
+	out := make(Composition, len(c))
+	if total == 0 {
+		return out
+	}
+	for k, v := range c {
+		out[k] = v / total
+	}
+	return out
+}
+
+// gcdOfAmounts returns the greatest common integral divisor of the
+// amounts, or 1 when any amount is non-integral.
+func (c Composition) gcdOfAmounts() float64 {
+	g := 0
+	for _, v := range c {
+		if math.Abs(v-math.Round(v)) > 1e-8 {
+			return 1
+		}
+		n := int(math.Round(v))
+		if n == 0 {
+			continue
+		}
+		g = gcd(g, n)
+	}
+	if g == 0 {
+		return 1
+	}
+	return float64(g)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Reduced returns the composition divided by the GCD of its integral
+// amounts ("Fe4O6" -> "Fe2O3") along with the divisor.
+func (c Composition) Reduced() (Composition, float64) {
+	g := c.gcdOfAmounts()
+	out := make(Composition, len(c))
+	for k, v := range c {
+		out[k] = v / g
+	}
+	return out, g
+}
+
+// Formula renders the composition with elements in electronegativity
+// order (the convention pymatgen and the Materials Project use):
+// electropositive species first, e.g. "Li3Fe2(PO4)3" renders "Li3Fe2P3O12".
+func (c Composition) Formula() string {
+	return c.format(SortSymbolsByElectronegativity(c.Elements()))
+}
+
+// ReducedFormula renders the reduced composition ("Fe4O6" -> "Fe2O3").
+func (c Composition) ReducedFormula() string {
+	r, _ := c.Reduced()
+	return r.Formula()
+}
+
+// AlphabeticalFormula renders with elements sorted alphabetically, the
+// canonical key for duplicate detection.
+func (c Composition) AlphabeticalFormula() string {
+	return c.format(c.Elements())
+}
+
+func (c Composition) format(order []string) string {
+	var b strings.Builder
+	for _, sym := range order {
+		n := c[sym]
+		if n <= 0 {
+			continue
+		}
+		b.WriteString(sym)
+		if math.Abs(n-1) < 1e-9 {
+			continue
+		}
+		if math.Abs(n-math.Round(n)) < 1e-8 {
+			fmt.Fprintf(&b, "%d", int(math.Round(n)))
+		} else {
+			fmt.Fprintf(&b, "%.3g", n)
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two compositions have the same elements with the
+// same amounts within tolerance.
+func (c Composition) Equal(other Composition) bool {
+	if len(c.Elements()) != len(other.Elements()) {
+		return false
+	}
+	for k, v := range c {
+		if math.Abs(other[k]-v) > 1e-8 {
+			return false
+		}
+	}
+	return true
+}
+
+// ChargeBalanced reports whether some assignment of common oxidation
+// states makes the composition neutral. Used by the synthetic dataset
+// generator to avoid absurd chemistries. The search is exact for the
+// small (<=4 element) compositions the generator produces.
+func (c Composition) ChargeBalanced() bool {
+	syms := c.Elements()
+	if len(syms) == 0 || len(syms) > 4 {
+		return false
+	}
+	var rec func(i int, charge float64) bool
+	rec = func(i int, charge float64) bool {
+		if i == len(syms) {
+			return math.Abs(charge) < 1e-9
+		}
+		e := bySymbol[syms[i]]
+		if e == nil || len(e.OxidationStates) == 0 {
+			return false
+		}
+		for _, ox := range e.OxidationStates {
+			if rec(i+1, charge+float64(ox)*c[syms[i]]) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// String implements fmt.Stringer.
+func (c Composition) String() string { return c.Formula() }

@@ -1,0 +1,249 @@
+package crystal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFormulaSimple(t *testing.T) {
+	cases := []struct {
+		formula string
+		want    map[string]float64
+	}{
+		{"Fe2O3", map[string]float64{"Fe": 2, "O": 3}},
+		{"LiFePO4", map[string]float64{"Li": 1, "Fe": 1, "P": 1, "O": 4}},
+		{"NaCl", map[string]float64{"Na": 1, "Cl": 1}},
+		{"H2O", map[string]float64{"H": 2, "O": 1}},
+		{"Li10GeP2S12", map[string]float64{"Li": 10, "Ge": 1, "P": 2, "S": 12}},
+		{"U", map[string]float64{"U": 1}},
+		{"CO2", map[string]float64{"C": 1, "O": 2}},
+		{"Co", map[string]float64{"Co": 1}}, // Co vs C+O disambiguation
+	}
+	for _, c := range cases {
+		got, err := ParseFormula(c.formula)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", c.formula, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseFormula(%q) = %v, want %v", c.formula, got, c.want)
+			continue
+		}
+		for sym, n := range c.want {
+			if math.Abs(got[sym]-n) > 1e-12 {
+				t.Errorf("ParseFormula(%q)[%s] = %v, want %v", c.formula, sym, got[sym], n)
+			}
+		}
+	}
+}
+
+func TestParseFormulaParentheses(t *testing.T) {
+	got := MustParseFormula("Ca(OH)2")
+	if got["Ca"] != 1 || got["O"] != 2 || got["H"] != 2 {
+		t.Errorf("Ca(OH)2 = %v", got)
+	}
+	nested := MustParseFormula("Mg(Al(OH)4)2")
+	if nested["Mg"] != 1 || nested["Al"] != 2 || nested["O"] != 8 || nested["H"] != 8 {
+		t.Errorf("nested = %v", nested)
+	}
+	frac := MustParseFormula("Fe0.5O")
+	if frac["Fe"] != 0.5 {
+		t.Errorf("frac = %v", frac)
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	for _, f := range []string{"", "Xx2", "2Fe", "Fe2O3)", "(Fe2O3", "fe2", "Fe(", "Q"} {
+		if _, err := ParseFormula(f); err == nil {
+			t.Errorf("ParseFormula(%q): want error", f)
+		}
+	}
+}
+
+func TestCompositionAccessors(t *testing.T) {
+	c := MustParseFormula("Fe2O3")
+	if got := c.Elements(); len(got) != 2 || got[0] != "Fe" || got[1] != "O" {
+		t.Errorf("Elements = %v", got)
+	}
+	if c.NumAtoms() != 5 {
+		t.Errorf("NumAtoms = %v", c.NumAtoms())
+	}
+	// 2*26 + 3*8 = 76
+	if c.NumElectrons() != 76 {
+		t.Errorf("NumElectrons = %v", c.NumElectrons())
+	}
+	want := 2*55.845 + 3*15.999
+	if math.Abs(c.Weight()-want) > 1e-9 {
+		t.Errorf("Weight = %v, want %v", c.Weight(), want)
+	}
+	if !c.Contains("Fe", "O") || c.Contains("Li") {
+		t.Error("Contains wrong")
+	}
+	if c.Get("Fe") != 2 || c.Get("Na") != 0 {
+		t.Error("Get wrong")
+	}
+}
+
+func TestAddRemoveClone(t *testing.T) {
+	c := MustParseFormula("FePO4")
+	withLi := c.Add("Li", 1)
+	if !withLi.Contains("Li") || c.Contains("Li") {
+		t.Error("Add mutated receiver or failed")
+	}
+	gone := withLi.Add("Li", -1)
+	if gone.Contains("Li") {
+		t.Error("Add(-1) should remove")
+	}
+	noFe := c.Remove("Fe")
+	if noFe.Contains("Fe") || !c.Contains("Fe") {
+		t.Error("Remove wrong")
+	}
+	cl := c.Clone()
+	cl["Fe"] = 99
+	if c["Fe"] != 1 {
+		t.Error("Clone aliased")
+	}
+}
+
+func TestFractional(t *testing.T) {
+	f := MustParseFormula("Fe2O3").Fractional()
+	if math.Abs(f["Fe"]-0.4) > 1e-12 || math.Abs(f["O"]-0.6) > 1e-12 {
+		t.Errorf("fractional = %v", f)
+	}
+	if got := (Composition{}).Fractional(); len(got) != 0 {
+		t.Errorf("empty fractional = %v", got)
+	}
+}
+
+func TestReducedFormula(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Fe4O6", "Fe2O3"},
+		{"Fe2O3", "Fe2O3"},
+		{"Li2Fe2P2O8", "LiFePO4"},
+		{"O2", "O"},
+	}
+	for _, c := range cases {
+		if got := MustParseFormula(c.in).ReducedFormula(); got != c.want {
+			t.Errorf("ReducedFormula(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	// Fractional amounts don't reduce.
+	frac := MustParseFormula("Fe0.5O")
+	if _, g := frac.Reduced(); g != 1 {
+		t.Errorf("fractional gcd = %v", g)
+	}
+}
+
+func TestFormulaElectronegativityOrder(t *testing.T) {
+	// Li (0.98) < Fe (1.83) < P (2.19) < O (3.44)
+	if got := MustParseFormula("O4PFeLi").Formula(); got != "LiFePO4" {
+		t.Errorf("Formula = %s", got)
+	}
+	if got := MustParseFormula("Fe2O3").AlphabeticalFormula(); got != "Fe2O3" {
+		t.Errorf("Alphabetical = %s", got)
+	}
+	if got := MustParseFormula("NaCl").AlphabeticalFormula(); got != "ClNa" {
+		t.Errorf("Alphabetical NaCl = %s", got)
+	}
+	if got := MustParseFormula("Fe0.5O").Formula(); got != "Fe0.5O" {
+		t.Errorf("fractional formula = %s", got)
+	}
+}
+
+func TestCompositionEqual(t *testing.T) {
+	a := MustParseFormula("Fe2O3")
+	b := MustParseFormula("O3Fe2")
+	if !a.Equal(b) {
+		t.Error("same composition unequal")
+	}
+	if a.Equal(MustParseFormula("Fe2O4")) {
+		t.Error("different amounts equal")
+	}
+	if a.Equal(MustParseFormula("Al2O3")) {
+		t.Error("different elements equal")
+	}
+}
+
+func TestChargeBalanced(t *testing.T) {
+	balanced := []string{"Fe2O3", "NaCl", "LiFePO4", "CaO", "Li2O", "FeO"}
+	for _, f := range balanced {
+		if !MustParseFormula(f).ChargeBalanced() {
+			t.Errorf("%s should be charge-balanced", f)
+		}
+	}
+	unbalanced := []string{"NaCl2", "LiO2"} // Na+Cl2 can't balance; Li+1 vs O-4 can't
+	for _, f := range unbalanced {
+		if MustParseFormula(f).ChargeBalanced() {
+			t.Errorf("%s should not be charge-balanced", f)
+		}
+	}
+	if (Composition{}).ChargeBalanced() {
+		t.Error("empty composition balanced")
+	}
+}
+
+func TestElementsTable(t *testing.T) {
+	fe, err := GetElement("Fe")
+	if err != nil || fe.Z != 26 || fe.Name != "Iron" {
+		t.Errorf("Fe = %+v err=%v", fe, err)
+	}
+	if _, err := GetElement("Xx"); err == nil {
+		t.Error("unknown element accepted")
+	}
+	byz, err := ElementByZ(8)
+	if err != nil || byz.Symbol != "O" {
+		t.Errorf("Z=8 = %+v", byz)
+	}
+	if _, err := ElementByZ(200); err == nil {
+		t.Error("Z=200 accepted")
+	}
+	if !IsElement("Li") || IsElement("Qq") {
+		t.Error("IsElement wrong")
+	}
+	syms := AllSymbols()
+	if len(syms) != 94 || syms[0] != "H" || syms[93] != "Pu" {
+		t.Errorf("AllSymbols len=%d first=%s last=%s", len(syms), syms[0], syms[len(syms)-1])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustElement should panic")
+		}
+	}()
+	MustElement("Zz")
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	syms := []string{"Li", "Fe", "O", "P", "Na", "Mn", "Co"}
+	f := func(counts [7]uint8) bool {
+		c := Composition{}
+		for i, n := range counts {
+			if n%9 > 0 {
+				c[syms[i]] = float64(n%9) + 1
+			}
+		}
+		if len(c) == 0 {
+			return true
+		}
+		parsed, err := ParseFormula(c.Formula())
+		if err != nil {
+			return false
+		}
+		return parsed.Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReducedPreservesRatios(t *testing.T) {
+	f := func(a, b uint8) bool {
+		na, nb := float64(a%20)+1, float64(b%20)+1
+		c := Composition{"Fe": na, "O": nb}
+		r, g := c.Reduced()
+		return math.Abs(r["Fe"]*g-na) < 1e-9 && math.Abs(r["O"]*g-nb) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

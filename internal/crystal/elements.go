@@ -1,0 +1,197 @@
+// Package crystal implements the materials object model used throughout
+// the pipeline: the periodic table, compositions with formula parsing,
+// lattices, crystal structures, and the Materials Project Source (MPS)
+// record format — the Go counterpart of the pymatgen core objects the
+// paper builds on.
+package crystal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Element describes one chemical element.
+type Element struct {
+	Symbol            string
+	Name              string
+	Z                 int     // atomic number
+	Mass              float64 // atomic mass, u
+	Electronegativity float64 // Pauling scale; 0 when undefined
+	// OxidationStates lists common oxidation states, used by the charge-
+	// balance screening in the synthetic dataset generator.
+	OxidationStates []int
+}
+
+// elementTable holds elements H through Pu. Masses are standard atomic
+// weights; electronegativities are Pauling values (0 where undefined).
+var elementTable = []Element{
+	{"H", "Hydrogen", 1, 1.008, 2.20, []int{-1, 1}},
+	{"He", "Helium", 2, 4.0026, 0, []int{}},
+	{"Li", "Lithium", 3, 6.94, 0.98, []int{1}},
+	{"Be", "Beryllium", 4, 9.0122, 1.57, []int{2}},
+	{"B", "Boron", 5, 10.81, 2.04, []int{3}},
+	{"C", "Carbon", 6, 12.011, 2.55, []int{-4, -2, 2, 4}},
+	{"N", "Nitrogen", 7, 14.007, 3.04, []int{-3, 3, 5}},
+	{"O", "Oxygen", 8, 15.999, 3.44, []int{-2}},
+	{"F", "Fluorine", 9, 18.998, 3.98, []int{-1}},
+	{"Ne", "Neon", 10, 20.180, 0, []int{}},
+	{"Na", "Sodium", 11, 22.990, 0.93, []int{1}},
+	{"Mg", "Magnesium", 12, 24.305, 1.31, []int{2}},
+	{"Al", "Aluminium", 13, 26.982, 1.61, []int{3}},
+	{"Si", "Silicon", 14, 28.085, 1.90, []int{-4, 4}},
+	{"P", "Phosphorus", 15, 30.974, 2.19, []int{-3, 3, 5}},
+	{"S", "Sulfur", 16, 32.06, 2.58, []int{-2, 4, 6}},
+	{"Cl", "Chlorine", 17, 35.45, 3.16, []int{-1, 1, 3, 5, 7}},
+	{"Ar", "Argon", 18, 39.948, 0, []int{}},
+	{"K", "Potassium", 19, 39.098, 0.82, []int{1}},
+	{"Ca", "Calcium", 20, 40.078, 1.00, []int{2}},
+	{"Sc", "Scandium", 21, 44.956, 1.36, []int{3}},
+	{"Ti", "Titanium", 22, 47.867, 1.54, []int{2, 3, 4}},
+	{"V", "Vanadium", 23, 50.942, 1.63, []int{2, 3, 4, 5}},
+	{"Cr", "Chromium", 24, 51.996, 1.66, []int{2, 3, 6}},
+	{"Mn", "Manganese", 25, 54.938, 1.55, []int{2, 3, 4, 7}},
+	{"Fe", "Iron", 26, 55.845, 1.83, []int{2, 3}},
+	{"Co", "Cobalt", 27, 58.933, 1.88, []int{2, 3}},
+	{"Ni", "Nickel", 28, 58.693, 1.91, []int{2, 3}},
+	{"Cu", "Copper", 29, 63.546, 1.90, []int{1, 2}},
+	{"Zn", "Zinc", 30, 65.38, 1.65, []int{2}},
+	{"Ga", "Gallium", 31, 69.723, 1.81, []int{3}},
+	{"Ge", "Germanium", 32, 72.630, 2.01, []int{2, 4}},
+	{"As", "Arsenic", 33, 74.922, 2.18, []int{-3, 3, 5}},
+	{"Se", "Selenium", 34, 78.971, 2.55, []int{-2, 4, 6}},
+	{"Br", "Bromine", 35, 79.904, 2.96, []int{-1, 1, 5}},
+	{"Kr", "Krypton", 36, 83.798, 3.00, []int{}},
+	{"Rb", "Rubidium", 37, 85.468, 0.82, []int{1}},
+	{"Sr", "Strontium", 38, 87.62, 0.95, []int{2}},
+	{"Y", "Yttrium", 39, 88.906, 1.22, []int{3}},
+	{"Zr", "Zirconium", 40, 91.224, 1.33, []int{4}},
+	{"Nb", "Niobium", 41, 92.906, 1.60, []int{3, 5}},
+	{"Mo", "Molybdenum", 42, 95.95, 2.16, []int{2, 3, 4, 6}},
+	{"Tc", "Technetium", 43, 98.0, 1.90, []int{4, 7}},
+	{"Ru", "Ruthenium", 44, 101.07, 2.20, []int{2, 3, 4}},
+	{"Rh", "Rhodium", 45, 102.91, 2.28, []int{3}},
+	{"Pd", "Palladium", 46, 106.42, 2.20, []int{2, 4}},
+	{"Ag", "Silver", 47, 107.87, 1.93, []int{1}},
+	{"Cd", "Cadmium", 48, 112.41, 1.69, []int{2}},
+	{"In", "Indium", 49, 114.82, 1.78, []int{3}},
+	{"Sn", "Tin", 50, 118.71, 1.96, []int{2, 4}},
+	{"Sb", "Antimony", 51, 121.76, 2.05, []int{-3, 3, 5}},
+	{"Te", "Tellurium", 52, 127.60, 2.10, []int{-2, 4, 6}},
+	{"I", "Iodine", 53, 126.90, 2.66, []int{-1, 1, 5, 7}},
+	{"Xe", "Xenon", 54, 131.29, 2.60, []int{}},
+	{"Cs", "Caesium", 55, 132.91, 0.79, []int{1}},
+	{"Ba", "Barium", 56, 137.33, 0.89, []int{2}},
+	{"La", "Lanthanum", 57, 138.91, 1.10, []int{3}},
+	{"Ce", "Cerium", 58, 140.12, 1.12, []int{3, 4}},
+	{"Pr", "Praseodymium", 59, 140.91, 1.13, []int{3}},
+	{"Nd", "Neodymium", 60, 144.24, 1.14, []int{3}},
+	{"Pm", "Promethium", 61, 145.0, 1.13, []int{3}},
+	{"Sm", "Samarium", 62, 150.36, 1.17, []int{2, 3}},
+	{"Eu", "Europium", 63, 151.96, 1.20, []int{2, 3}},
+	{"Gd", "Gadolinium", 64, 157.25, 1.20, []int{3}},
+	{"Tb", "Terbium", 65, 158.93, 1.10, []int{3, 4}},
+	{"Dy", "Dysprosium", 66, 162.50, 1.22, []int{3}},
+	{"Ho", "Holmium", 67, 164.93, 1.23, []int{3}},
+	{"Er", "Erbium", 68, 167.26, 1.24, []int{3}},
+	{"Tm", "Thulium", 69, 168.93, 1.25, []int{3}},
+	{"Yb", "Ytterbium", 70, 173.05, 1.10, []int{2, 3}},
+	{"Lu", "Lutetium", 71, 174.97, 1.27, []int{3}},
+	{"Hf", "Hafnium", 72, 178.49, 1.30, []int{4}},
+	{"Ta", "Tantalum", 73, 180.95, 1.50, []int{5}},
+	{"W", "Tungsten", 74, 183.84, 2.36, []int{4, 6}},
+	{"Re", "Rhenium", 75, 186.21, 1.90, []int{4, 7}},
+	{"Os", "Osmium", 76, 190.23, 2.20, []int{4}},
+	{"Ir", "Iridium", 77, 192.22, 2.20, []int{3, 4}},
+	{"Pt", "Platinum", 78, 195.08, 2.28, []int{2, 4}},
+	{"Au", "Gold", 79, 196.97, 2.54, []int{1, 3}},
+	{"Hg", "Mercury", 80, 200.59, 2.00, []int{1, 2}},
+	{"Tl", "Thallium", 81, 204.38, 1.62, []int{1, 3}},
+	{"Pb", "Lead", 82, 207.2, 2.33, []int{2, 4}},
+	{"Bi", "Bismuth", 83, 208.98, 2.02, []int{3, 5}},
+	{"Po", "Polonium", 84, 209.0, 2.00, []int{2, 4}},
+	{"At", "Astatine", 85, 210.0, 2.20, []int{-1, 1}},
+	{"Rn", "Radon", 86, 222.0, 0, []int{}},
+	{"Fr", "Francium", 87, 223.0, 0.70, []int{1}},
+	{"Ra", "Radium", 88, 226.0, 0.90, []int{2}},
+	{"Ac", "Actinium", 89, 227.0, 1.10, []int{3}},
+	{"Th", "Thorium", 90, 232.04, 1.30, []int{4}},
+	{"Pa", "Protactinium", 91, 231.04, 1.50, []int{4, 5}},
+	{"U", "Uranium", 92, 238.03, 1.38, []int{3, 4, 5, 6}},
+	{"Np", "Neptunium", 93, 237.0, 1.36, []int{3, 4, 5, 6}},
+	{"Pu", "Plutonium", 94, 244.0, 1.28, []int{3, 4, 5, 6}},
+}
+
+var (
+	bySymbol map[string]*Element
+	byZ      map[int]*Element
+)
+
+func init() {
+	bySymbol = make(map[string]*Element, len(elementTable))
+	byZ = make(map[int]*Element, len(elementTable))
+	for i := range elementTable {
+		e := &elementTable[i]
+		bySymbol[e.Symbol] = e
+		byZ[e.Z] = e
+	}
+}
+
+// GetElement looks an element up by symbol.
+func GetElement(symbol string) (*Element, error) {
+	e, ok := bySymbol[symbol]
+	if !ok {
+		return nil, fmt.Errorf("crystal: unknown element %q", symbol)
+	}
+	return e, nil
+}
+
+// MustElement panics on unknown symbols; for static data.
+func MustElement(symbol string) *Element {
+	e, err := GetElement(symbol)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ElementByZ looks an element up by atomic number.
+func ElementByZ(z int) (*Element, error) {
+	e, ok := byZ[z]
+	if !ok {
+		return nil, fmt.Errorf("crystal: no element with Z=%d", z)
+	}
+	return e, nil
+}
+
+// IsElement reports whether symbol names a known element.
+func IsElement(symbol string) bool {
+	_, ok := bySymbol[symbol]
+	return ok
+}
+
+// AllSymbols returns every known element symbol sorted by atomic number.
+func AllSymbols() []string {
+	out := make([]string, len(elementTable))
+	for i, e := range elementTable {
+		out[i] = e.Symbol
+	}
+	return out
+}
+
+// SortSymbolsByElectronegativity orders symbols ascending by Pauling
+// electronegativity (ties by Z), the canonical ordering for formula
+// rendering.
+func SortSymbolsByElectronegativity(symbols []string) []string {
+	out := append([]string(nil), symbols...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := bySymbol[out[i]], bySymbol[out[j]]
+		if a == nil || b == nil {
+			return out[i] < out[j]
+		}
+		if a.Electronegativity != b.Electronegativity {
+			return a.Electronegativity < b.Electronegativity
+		}
+		return a.Z < b.Z
+	})
+	return out
+}

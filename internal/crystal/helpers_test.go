@@ -1,0 +1,6 @@
+package crystal
+
+import "matproj/internal/document"
+
+// mustDoc parses JSON test fixtures.
+func mustDoc(s string) document.D { return document.MustFromJSON(s) }

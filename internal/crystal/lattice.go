@@ -1,0 +1,130 @@
+package crystal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-vector in Cartesian or fractional coordinates.
+type Vec3 [3]float64
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v[0] + w[0], v[1] + w[1], v[2] + w[2]} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v[0] - w[0], v[1] - w[1], v[2] - w[2]} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v[0], s * v[1], s * v[2]} }
+
+// Dot returns the dot product.
+func (v Vec3) Dot(w Vec3) float64 { return v[0]*w[0] + v[1]*w[1] + v[2]*w[2] }
+
+// Cross returns the cross product.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v[1]*w[2] - v[2]*w[1],
+		v[2]*w[0] - v[0]*w[2],
+		v[0]*w[1] - v[1]*w[0],
+	}
+}
+
+// Norm returns the Euclidean length.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Lattice is a crystal lattice defined by three row vectors (Å).
+type Lattice struct {
+	// Matrix rows are the lattice vectors a, b, c.
+	Matrix [3]Vec3
+}
+
+// NewLatticeFromParameters builds a lattice from cell lengths (Å) and
+// angles (degrees), using the standard crystallographic convention.
+func NewLatticeFromParameters(a, b, c, alpha, beta, gamma float64) (Lattice, error) {
+	if a <= 0 || b <= 0 || c <= 0 {
+		return Lattice{}, fmt.Errorf("crystal: cell lengths must be positive (%g, %g, %g)", a, b, c)
+	}
+	for _, ang := range []float64{alpha, beta, gamma} {
+		if ang <= 0 || ang >= 180 {
+			return Lattice{}, fmt.Errorf("crystal: cell angles must lie in (0, 180): %g", ang)
+		}
+	}
+	ar, br, gr := alpha*math.Pi/180, beta*math.Pi/180, gamma*math.Pi/180
+	cosA, cosB, cosG := math.Cos(ar), math.Cos(br), math.Cos(gr)
+	sinG := math.Sin(gr)
+	cx := c * cosB
+	cy := c * (cosA - cosB*cosG) / sinG
+	czSq := c*c - cx*cx - cy*cy
+	if czSq <= 0 {
+		return Lattice{}, fmt.Errorf("crystal: degenerate cell (a=%g b=%g c=%g α=%g β=%g γ=%g)", a, b, c, alpha, beta, gamma)
+	}
+	return Lattice{Matrix: [3]Vec3{
+		{a, 0, 0},
+		{b * cosG, b * sinG, 0},
+		{cx, cy, math.Sqrt(czSq)},
+	}}, nil
+}
+
+// CubicLattice returns a cubic lattice with edge a.
+func CubicLattice(a float64) Lattice {
+	l, err := NewLatticeFromParameters(a, a, a, 90, 90, 90)
+	if err != nil {
+		panic(err) // unreachable for positive a
+	}
+	return l
+}
+
+// Volume is the cell volume in Å^3.
+func (l Lattice) Volume() float64 {
+	return math.Abs(l.Matrix[0].Dot(l.Matrix[1].Cross(l.Matrix[2])))
+}
+
+// A, B, C return the lattice vector lengths.
+func (l Lattice) A() float64 { return l.Matrix[0].Norm() }
+func (l Lattice) B() float64 { return l.Matrix[1].Norm() }
+func (l Lattice) C() float64 { return l.Matrix[2].Norm() }
+
+// Angles returns (alpha, beta, gamma) in degrees.
+func (l Lattice) Angles() (alpha, beta, gamma float64) {
+	a, b, c := l.Matrix[0], l.Matrix[1], l.Matrix[2]
+	angle := func(u, v Vec3) float64 {
+		cos := u.Dot(v) / (u.Norm() * v.Norm())
+		cos = math.Max(-1, math.Min(1, cos))
+		return math.Acos(cos) * 180 / math.Pi
+	}
+	return angle(b, c), angle(a, c), angle(a, b)
+}
+
+// CartesianCoords converts fractional to Cartesian coordinates.
+func (l Lattice) CartesianCoords(frac Vec3) Vec3 {
+	var out Vec3
+	for i := 0; i < 3; i++ {
+		out = out.Add(l.Matrix[i].Scale(frac[i]))
+	}
+	return out
+}
+
+// Reciprocal returns the reciprocal lattice (rows are 2π b_i).
+func (l Lattice) Reciprocal() Lattice {
+	v := l.Matrix[0].Dot(l.Matrix[1].Cross(l.Matrix[2]))
+	f := 2 * math.Pi / v
+	return Lattice{Matrix: [3]Vec3{
+		l.Matrix[1].Cross(l.Matrix[2]).Scale(f),
+		l.Matrix[2].Cross(l.Matrix[0]).Scale(f),
+		l.Matrix[0].Cross(l.Matrix[1]).Scale(f),
+	}}
+}
+
+// DSpacing returns the interplanar spacing for Miller indices (h,k,l),
+// used by the XRD pattern generator.
+func (l Lattice) DSpacing(h, k, lIdx int) float64 {
+	r := l.Reciprocal()
+	g := r.Matrix[0].Scale(float64(h)).
+		Add(r.Matrix[1].Scale(float64(k))).
+		Add(r.Matrix[2].Scale(float64(lIdx)))
+	n := g.Norm()
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return 2 * math.Pi / n
+}

@@ -1,0 +1,89 @@
+package crystal
+
+import (
+	"fmt"
+
+	"matproj/internal/document"
+)
+
+// MPSRecord is a Materials Project Source record: "our standard JSON
+// representation of a crystal and its metadata" (§III-B1). It bundles the
+// structure with provenance — where the crystal came from (ICSD, a user
+// submission, ...) — and the derived physical characteristics that must
+// "be stored and accessed" (atomic masses, positions, electron counts).
+type MPSRecord struct {
+	ID        string // canonical id, e.g. "mps-000042"
+	Structure *Structure
+	Source    string // provenance: "icsd", "user", ...
+	SourceID  string // identifier within the source, e.g. ICSD number
+	CreatedBy string // submitting user
+	Tags      []string
+}
+
+// NewMPSID formats the canonical MPS identifier.
+func NewMPSID(n int) string { return fmt.Sprintf("mps-%06d", n) }
+
+// ToDoc serializes the record to the document stored in the mps
+// collection. Derived quantities (formula, elements, electron count,
+// weight, density) are denormalized in so the paper's job-selection
+// queries can filter on them directly.
+func (r *MPSRecord) ToDoc() document.D {
+	comp := r.Structure.Composition()
+	elems := comp.Elements()
+	elemsAny := make([]any, len(elems))
+	for i, e := range elems {
+		elemsAny[i] = e
+	}
+	tags := make([]any, len(r.Tags))
+	for i, t := range r.Tags {
+		tags[i] = t
+	}
+	return document.D{
+		"_id":             r.ID,
+		"structure_id":    r.Structure.Fingerprint(),
+		"formula":         comp.Formula(),
+		"reduced_formula": comp.ReducedFormula(),
+		"elements":        elemsAny,
+		"nelements":       int64(len(elems)),
+		"nsites":          int64(r.Structure.NumSites()),
+		"nelectrons":      comp.NumElectrons(),
+		"weight":          comp.Weight(),
+		"density":         r.Structure.Density(),
+		"structure":       map[string]any(r.Structure.ToDoc()),
+		"meta": map[string]any{
+			"source":     r.Source,
+			"source_id":  r.SourceID,
+			"created_by": r.CreatedBy,
+			"tags":       tags,
+		},
+	}
+}
+
+// MPSFromDoc reverses ToDoc.
+func MPSFromDoc(d document.D) (*MPSRecord, error) {
+	id, _ := d["_id"].(string)
+	if id == "" {
+		return nil, fmt.Errorf("crystal: MPS doc missing _id")
+	}
+	st := d.GetDoc("structure")
+	if st == nil {
+		return nil, fmt.Errorf("crystal: MPS doc %s missing structure", id)
+	}
+	s, err := StructureFromDoc(st)
+	if err != nil {
+		return nil, fmt.Errorf("crystal: MPS doc %s: %w", id, err)
+	}
+	rec := &MPSRecord{
+		ID:        id,
+		Structure: s,
+		Source:    d.GetString("meta.source"),
+		SourceID:  d.GetString("meta.source_id"),
+		CreatedBy: d.GetString("meta.created_by"),
+	}
+	for _, t := range d.GetArray("meta.tags") {
+		if ts, ok := t.(string); ok {
+			rec.Tags = append(rec.Tags, ts)
+		}
+	}
+	return rec, nil
+}

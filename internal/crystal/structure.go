@@ -1,0 +1,204 @@
+package crystal
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"matproj/internal/document"
+)
+
+// Site is one atomic site: an element at fractional coordinates in the
+// unit cell.
+type Site struct {
+	Species string // element symbol
+	Frac    Vec3   // fractional coordinates in [0, 1)
+}
+
+// Structure is a crystal: a lattice plus a basis of sites. This is the
+// fundamental object flowing through the whole pipeline (MPS record →
+// DFT input → stored material).
+type Structure struct {
+	Lattice Lattice
+	Sites   []Site
+}
+
+// Fingerprint returns a stable identity hash of the structure (species,
+// fractional coordinates, lattice), used as the canonical "crystal
+// structure ID" for duplicate detection: redeterminations of the same
+// crystal under different source ids share a fingerprint.
+func (s *Structure) Fingerprint() string {
+	h := fnv.New64a()
+	for _, site := range s.Sites {
+		fmt.Fprintf(h, "%s|%.5f,%.5f,%.5f;", site.Species, site.Frac[0], site.Frac[1], site.Frac[2])
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(h, "%.5f,%.5f,%.5f;", s.Lattice.Matrix[i][0], s.Lattice.Matrix[i][1], s.Lattice.Matrix[i][2])
+	}
+	return fmt.Sprintf("struct-%016x", h.Sum64())
+}
+
+// Composition returns the structure's element multiset.
+func (s *Structure) Composition() Composition {
+	c := Composition{}
+	for _, site := range s.Sites {
+		c[site.Species]++
+	}
+	return c
+}
+
+// NumSites returns the number of atomic sites.
+func (s *Structure) NumSites() int { return len(s.Sites) }
+
+// Density returns the mass density in g/cm³.
+func (s *Structure) Density() float64 {
+	const avogadro = 6.02214076e23
+	vol := s.Lattice.Volume() // Å^3
+	if vol <= 0 {
+		return 0
+	}
+	massG := s.Composition().Weight() / avogadro // grams per cell
+	volCm3 := vol * 1e-24
+	return massG / volCm3
+}
+
+// Validate checks structural invariants: a known species at every site,
+// coordinates finite, non-degenerate lattice.
+func (s *Structure) Validate() error {
+	if len(s.Sites) == 0 {
+		return fmt.Errorf("crystal: structure has no sites")
+	}
+	if s.Lattice.Volume() <= 0 {
+		return fmt.Errorf("crystal: degenerate lattice (volume %g)", s.Lattice.Volume())
+	}
+	for i, site := range s.Sites {
+		if !IsElement(site.Species) {
+			return fmt.Errorf("crystal: site %d has unknown species %q", i, site.Species)
+		}
+		for _, x := range site.Frac {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("crystal: site %d has non-finite coordinate", i)
+			}
+		}
+	}
+	return nil
+}
+
+// WrapToCell maps all fractional coordinates into [0, 1).
+func (s *Structure) WrapToCell() {
+	for i := range s.Sites {
+		for j := 0; j < 3; j++ {
+			f := math.Mod(s.Sites[i].Frac[j], 1)
+			if f < 0 {
+				f++
+			}
+			s.Sites[i].Frac[j] = f
+		}
+	}
+}
+
+// MinDistance returns the minimal Cartesian distance between any two
+// distinct sites, considering neighboring periodic images. Used by V&V to
+// reject unphysical structures.
+func (s *Structure) MinDistance() float64 {
+	min := math.Inf(1)
+	for i := 0; i < len(s.Sites); i++ {
+		for j := i + 1; j < len(s.Sites); j++ {
+			d := s.distance(s.Sites[i].Frac, s.Sites[j].Frac)
+			if d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+func (s *Structure) distance(a, b Vec3) float64 {
+	min := math.Inf(1)
+	for dx := -1.0; dx <= 1; dx++ {
+		for dy := -1.0; dy <= 1; dy++ {
+			for dz := -1.0; dz <= 1; dz++ {
+				diff := a.Sub(b).Add(Vec3{dx, dy, dz})
+				d := s.Lattice.CartesianCoords(diff).Norm()
+				if d < min {
+					min = d
+				}
+			}
+		}
+	}
+	return min
+}
+
+// ToDoc serializes the structure to its document form (the representation
+// embedded in MPS records and task documents).
+func (s *Structure) ToDoc() document.D {
+	sites := make([]any, len(s.Sites))
+	for i, site := range s.Sites {
+		sites[i] = map[string]any{
+			"species": site.Species,
+			"abc":     []any{site.Frac[0], site.Frac[1], site.Frac[2]},
+		}
+	}
+	m := s.Lattice.Matrix
+	alpha, beta, gamma := s.Lattice.Angles()
+	return document.D{
+		"lattice": map[string]any{
+			"matrix": []any{
+				[]any{m[0][0], m[0][1], m[0][2]},
+				[]any{m[1][0], m[1][1], m[1][2]},
+				[]any{m[2][0], m[2][1], m[2][2]},
+			},
+			"a": s.Lattice.A(), "b": s.Lattice.B(), "c": s.Lattice.C(),
+			"alpha": alpha, "beta": beta, "gamma": gamma,
+			"volume": s.Lattice.Volume(),
+		},
+		"sites": sites,
+	}
+}
+
+// StructureFromDoc reverses ToDoc.
+func StructureFromDoc(d document.D) (*Structure, error) {
+	matrix := d.GetArray("lattice.matrix")
+	if len(matrix) != 3 {
+		return nil, fmt.Errorf("crystal: structure doc missing lattice.matrix")
+	}
+	var s Structure
+	for i, rowAny := range matrix {
+		row, ok := rowAny.([]any)
+		if !ok || len(row) != 3 {
+			return nil, fmt.Errorf("crystal: lattice.matrix row %d malformed", i)
+		}
+		for j, v := range row {
+			f, ok := document.AsFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("crystal: lattice.matrix[%d][%d] not numeric", i, j)
+			}
+			s.Lattice.Matrix[i][j] = f
+		}
+	}
+	for i, siteAny := range d.GetArray("sites") {
+		site, ok := siteAny.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("crystal: site %d malformed", i)
+		}
+		sd := document.D(site)
+		sp := sd.GetString("species")
+		abc := sd.GetArray("abc")
+		if sp == "" || len(abc) != 3 {
+			return nil, fmt.Errorf("crystal: site %d missing species/abc", i)
+		}
+		var frac Vec3
+		for j, v := range abc {
+			f, ok := document.AsFloat(v)
+			if !ok {
+				return nil, fmt.Errorf("crystal: site %d abc[%d] not numeric", i, j)
+			}
+			frac[j] = f
+		}
+		s.Sites = append(s.Sites, Site{Species: sp, Frac: frac})
+	}
+	if len(s.Sites) == 0 {
+		return nil, fmt.Errorf("crystal: structure doc has no sites")
+	}
+	return &s, nil
+}

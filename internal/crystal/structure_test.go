@@ -1,0 +1,292 @@
+package crystal
+
+import (
+	"math"
+	"testing"
+)
+
+func rockSalt() *Structure {
+	// NaCl rock salt conventional-ish 2-atom cell.
+	return &Structure{
+		Lattice: CubicLattice(5.64),
+		Sites: []Site{
+			{Species: "Na", Frac: Vec3{0, 0, 0}},
+			{Species: "Cl", Frac: Vec3{0.5, 0.5, 0.5}},
+		},
+	}
+}
+
+func TestLatticeFromParameters(t *testing.T) {
+	l, err := NewLatticeFromParameters(3, 4, 5, 90, 90, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Volume()-60) > 1e-9 {
+		t.Errorf("volume = %v", l.Volume())
+	}
+	if math.Abs(l.A()-3) > 1e-9 || math.Abs(l.B()-4) > 1e-9 || math.Abs(l.C()-5) > 1e-9 {
+		t.Errorf("lengths = %v %v %v", l.A(), l.B(), l.C())
+	}
+	al, be, ga := l.Angles()
+	for _, a := range []float64{al, be, ga} {
+		if math.Abs(a-90) > 1e-9 {
+			t.Errorf("angle = %v", a)
+		}
+	}
+	// Triclinic round trip.
+	l2, err := NewLatticeFromParameters(4.1, 5.2, 6.3, 80, 95, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2.A()-4.1) > 1e-9 || math.Abs(l2.B()-5.2) > 1e-9 || math.Abs(l2.C()-6.3) > 1e-9 {
+		t.Errorf("triclinic lengths = %v %v %v", l2.A(), l2.B(), l2.C())
+	}
+	a2, b2, g2 := l2.Angles()
+	if math.Abs(a2-80) > 1e-6 || math.Abs(b2-95) > 1e-6 || math.Abs(g2-112) > 1e-6 {
+		t.Errorf("triclinic angles = %v %v %v", a2, b2, g2)
+	}
+}
+
+func TestLatticeFromParametersErrors(t *testing.T) {
+	if _, err := NewLatticeFromParameters(-1, 2, 3, 90, 90, 90); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := NewLatticeFromParameters(1, 2, 3, 0, 90, 90); err == nil {
+		t.Error("zero angle accepted")
+	}
+	if _, err := NewLatticeFromParameters(1, 2, 3, 90, 90, 181); err == nil {
+		t.Error("angle > 180 accepted")
+	}
+	// Geometrically impossible angle combination.
+	if _, err := NewLatticeFromParameters(1, 1, 1, 30, 150, 10); err == nil {
+		t.Error("degenerate cell accepted")
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	v, w := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if v.Dot(w) != 32 {
+		t.Errorf("Dot = %v", v.Dot(w))
+	}
+	if got := v.Cross(w); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if math.Abs(Vec3{3, 4, 0}.Norm()-5) > 1e-12 {
+		t.Error("Norm wrong")
+	}
+}
+
+func TestReciprocalLattice(t *testing.T) {
+	l := CubicLattice(2)
+	r := l.Reciprocal()
+	// For cubic a, reciprocal vectors have length 2π/a.
+	if math.Abs(r.A()-math.Pi) > 1e-9 {
+		t.Errorf("reciprocal a = %v, want %v", r.A(), math.Pi)
+	}
+	// a_i · b_j = 2π δ_ij
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			dot := l.Matrix[i].Dot(r.Matrix[j])
+			want := 0.0
+			if i == j {
+				want = 2 * math.Pi
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Errorf("a%d·b%d = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestDSpacingCubic(t *testing.T) {
+	a := 4.0
+	l := CubicLattice(a)
+	cases := []struct {
+		h, k, lIdx int
+		want       float64
+	}{
+		{1, 0, 0, a},
+		{1, 1, 0, a / math.Sqrt2},
+		{1, 1, 1, a / math.Sqrt(3)},
+		{2, 0, 0, a / 2},
+	}
+	for _, c := range cases {
+		if got := l.DSpacing(c.h, c.k, c.lIdx); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("d(%d%d%d) = %v, want %v", c.h, c.k, c.lIdx, got, c.want)
+		}
+	}
+	if !math.IsInf(l.DSpacing(0, 0, 0), 1) {
+		t.Error("d(000) should be +Inf")
+	}
+}
+
+func TestStructureBasics(t *testing.T) {
+	s := rockSalt()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comp := s.Composition()
+	if comp.Formula() != "NaCl" {
+		t.Errorf("formula = %s", comp.Formula())
+	}
+	if s.NumSites() != 2 {
+		t.Error("NumSites wrong")
+	}
+	// NaCl density ~2.17 g/cm3 for the full cell; our 2-atom cell at
+	// a=5.64 contains 1 formula unit so density is 1/4 of real: just check
+	// positivity and magnitude sanity.
+	d := s.Density()
+	if d <= 0 || d > 25 {
+		t.Errorf("density = %v", d)
+	}
+}
+
+func TestStructureValidateErrors(t *testing.T) {
+	if err := (&Structure{Lattice: CubicLattice(3)}).Validate(); err == nil {
+		t.Error("no sites accepted")
+	}
+	bad := rockSalt()
+	bad.Sites[0].Species = "Qq"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown species accepted")
+	}
+	nan := rockSalt()
+	nan.Sites[0].Frac[0] = math.NaN()
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+	degenerate := rockSalt()
+	degenerate.Lattice = Lattice{}
+	if err := degenerate.Validate(); err == nil {
+		t.Error("degenerate lattice accepted")
+	}
+}
+
+func TestWrapToCell(t *testing.T) {
+	s := rockSalt()
+	s.Sites[0].Frac = Vec3{1.25, -0.25, 2}
+	s.WrapToCell()
+	f := s.Sites[0].Frac
+	if math.Abs(f[0]-0.25) > 1e-12 || math.Abs(f[1]-0.75) > 1e-12 || math.Abs(f[2]) > 1e-12 {
+		t.Errorf("wrapped = %v", f)
+	}
+}
+
+func TestMinDistancePeriodicImages(t *testing.T) {
+	s := &Structure{
+		Lattice: CubicLattice(4),
+		Sites: []Site{
+			{Species: "Fe", Frac: Vec3{0.05, 0, 0}},
+			{Species: "O", Frac: Vec3{0.95, 0, 0}},
+		},
+	}
+	// Direct distance 0.9*4=3.6 but via periodic image 0.1*4=0.4.
+	if got := s.MinDistance(); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("MinDistance = %v, want 0.4", got)
+	}
+}
+
+func TestCartesianCoords(t *testing.T) {
+	l := CubicLattice(2)
+	got := l.CartesianCoords(Vec3{0.5, 0.5, 0.25})
+	if got != (Vec3{1, 1, 0.5}) {
+		t.Errorf("cartesian = %v", got)
+	}
+}
+
+func TestStructureDocRoundTrip(t *testing.T) {
+	s := rockSalt()
+	d := s.ToDoc()
+	if v, ok := d.GetFloat("lattice.volume"); !ok || math.Abs(v-5.64*5.64*5.64) > 1e-6 {
+		t.Errorf("volume = %v", v)
+	}
+	back, err := StructureFromDoc(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSites() != 2 || back.Sites[1].Species != "Cl" {
+		t.Errorf("round trip sites = %+v", back.Sites)
+	}
+	if math.Abs(back.Lattice.Volume()-s.Lattice.Volume()) > 1e-9 {
+		t.Error("volume changed in round trip")
+	}
+	if math.Abs(back.Sites[1].Frac[0]-0.5) > 1e-12 {
+		t.Error("coords changed")
+	}
+}
+
+func TestStructureFromDocErrors(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"lattice": {"matrix": [[1,0,0],[0,1,0]]}, "sites": []}`,
+		`{"lattice": {"matrix": [[1,0,0],[0,1,0],[0,0]]}, "sites": []}`,
+		`{"lattice": {"matrix": [["x",0,0],[0,1,0],[0,0,1]]}, "sites": []}`,
+		`{"lattice": {"matrix": [[1,0,0],[0,1,0],[0,0,1]]}, "sites": []}`,
+		`{"lattice": {"matrix": [[1,0,0],[0,1,0],[0,0,1]]}, "sites": [3]}`,
+		`{"lattice": {"matrix": [[1,0,0],[0,1,0],[0,0,1]]}, "sites": [{"species": "Na"}]}`,
+		`{"lattice": {"matrix": [[1,0,0],[0,1,0],[0,0,1]]}, "sites": [{"species": "Na", "abc": [0, 0, "x"]}]}`,
+	}
+	for _, s := range bad {
+		if _, err := StructureFromDoc(mustDoc(s)); err == nil {
+			t.Errorf("StructureFromDoc(%s): want error", s)
+		}
+	}
+}
+
+func TestMPSRecordRoundTrip(t *testing.T) {
+	rec := &MPSRecord{
+		ID:        NewMPSID(42),
+		Structure: rockSalt(),
+		Source:    "icsd",
+		SourceID:  "icsd-1234",
+		CreatedBy: "core",
+		Tags:      []string{"halide"},
+	}
+	d := rec.ToDoc()
+	if d["_id"] != "mps-000042" {
+		t.Errorf("_id = %v", d["_id"])
+	}
+	if d["reduced_formula"] != "NaCl" {
+		t.Errorf("reduced_formula = %v", d["reduced_formula"])
+	}
+	if ne, _ := d.GetFloat("nelectrons"); ne != 11+17 {
+		t.Errorf("nelectrons = %v", ne)
+	}
+	if n, _ := d.GetInt("nelements"); n != 2 {
+		t.Errorf("nelements = %v", n)
+	}
+	back, err := MPSFromDoc(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != rec.ID || back.Source != "icsd" || back.SourceID != "icsd-1234" {
+		t.Errorf("back = %+v", back)
+	}
+	if len(back.Tags) != 1 || back.Tags[0] != "halide" {
+		t.Errorf("tags = %v", back.Tags)
+	}
+	if back.Structure.Composition().Formula() != "NaCl" {
+		t.Error("structure lost")
+	}
+}
+
+func TestMPSFromDocErrors(t *testing.T) {
+	if _, err := MPSFromDoc(mustDoc(`{}`)); err == nil {
+		t.Error("missing _id accepted")
+	}
+	if _, err := MPSFromDoc(mustDoc(`{"_id": "x"}`)); err == nil {
+		t.Error("missing structure accepted")
+	}
+	if _, err := MPSFromDoc(mustDoc(`{"_id": "x", "structure": {"sites": []}}`)); err == nil {
+		t.Error("bad structure accepted")
+	}
+}

@@ -1,0 +1,530 @@
+package datastore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matproj/internal/document"
+	"matproj/internal/query"
+)
+
+var idCounter atomic.Uint64
+
+// nextID generates a process-unique object id.
+func nextID() string {
+	return fmt.Sprintf("oid%012x", idCounter.Add(1))
+}
+
+// Collection is a named set of documents keyed by "_id". All methods are
+// safe for concurrent use; writes take an exclusive lock, reads a shared
+// lock, mirroring MongoDB's (v2-era) per-collection locking.
+type Collection struct {
+	name  string
+	store *Store
+
+	mu      sync.RWMutex
+	docs    map[string]document.D
+	order   []string       // insertion order of ids, for stable scans
+	seq     map[string]int // id -> insertion sequence, for candidate sorting
+	seqNext int
+	indexes map[string]*index
+	bytes   int
+}
+
+func newCollection(name string, store *Store) *Collection {
+	return &Collection{
+		name:    name,
+		store:   store,
+		docs:    make(map[string]document.D),
+		seq:     make(map[string]int),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// CollStats summarizes a collection.
+type CollStats struct {
+	Documents int
+	Bytes     int
+	Indexes   []string
+}
+
+// Stats reports size and index information.
+func (c *Collection) Stats() CollStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	idx := make([]string, 0, len(c.indexes))
+	for p := range c.indexes {
+		idx = append(idx, p)
+	}
+	sort.Strings(idx)
+	return CollStats{Documents: len(c.docs), Bytes: c.bytes, Indexes: idx}
+}
+
+// Insert stores a document. If it has no "_id", one is assigned; the
+// (possibly new) id is returned. The stored document is a deep copy: the
+// caller's document is never aliased.
+func (c *Collection) Insert(doc document.D) (string, error) {
+	start := time.Now()
+	d := document.NormalizeDoc(doc).Copy()
+	id, hasID := d["_id"].(string)
+	if !hasID {
+		if raw, ok := d["_id"]; ok {
+			return "", fmt.Errorf("datastore: _id must be a string, got %T", raw)
+		}
+		id = nextID()
+		d["_id"] = id
+	}
+	c.mu.Lock()
+	if _, exists := c.docs[id]; exists {
+		c.mu.Unlock()
+		return "", fmt.Errorf("%w: %q in %q", ErrDuplicateID, id, c.name)
+	}
+	c.insertLocked(id, d)
+	c.mu.Unlock()
+	c.log(journalInsert, id, d)
+	c.profile("insert", start, 0)
+	return id, nil
+}
+
+// InsertMany inserts a batch, returning the assigned ids. Insertion stops
+// at the first error.
+func (c *Collection) InsertMany(docs []document.D) ([]string, error) {
+	ids := make([]string, 0, len(docs))
+	for _, d := range docs {
+		id, err := c.Insert(d)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// insertLocked assumes c.mu is held and id is fresh.
+func (c *Collection) insertLocked(id string, d document.D) {
+	c.docs[id] = d
+	c.order = append(c.order, id)
+	c.seq[id] = c.seqNext
+	c.seqNext++
+	c.bytes += document.ApproxSize(d)
+	for _, idx := range c.indexes {
+		idx.add(id, d)
+	}
+}
+
+func (c *Collection) removeLocked(id string) {
+	d, ok := c.docs[id]
+	if !ok {
+		return
+	}
+	delete(c.docs, id)
+	delete(c.seq, id)
+	c.bytes -= document.ApproxSize(d)
+	for i, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	for _, idx := range c.indexes {
+		idx.remove(id, d)
+	}
+}
+
+// replaceLocked swaps the stored document for id, maintaining indexes.
+func (c *Collection) replaceLocked(id string, newDoc document.D) {
+	old := c.docs[id]
+	for _, idx := range c.indexes {
+		idx.remove(id, old)
+		idx.add(id, newDoc)
+	}
+	c.bytes += document.ApproxSize(newDoc) - document.ApproxSize(old)
+	c.docs[id] = newDoc
+}
+
+// FindOpts controls a query: projection, sort order, skip and limit.
+type FindOpts struct {
+	Projection document.D
+	Sort       []string // "field" or "-field"
+	Skip       int
+	Limit      int // 0 means no limit
+}
+
+// Find returns a cursor over documents matching filter. The cursor holds
+// deep copies; iterating never observes later writes.
+func (c *Collection) Find(filter document.D, opts *FindOpts) (*Cursor, error) {
+	start := time.Now()
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return nil, err
+	}
+	var proj *query.Projection
+	var sortKeys []query.SortKey
+	skip, limit := 0, 0
+	if opts != nil {
+		proj, err = query.CompileProjection(opts.Projection)
+		if err != nil {
+			return nil, err
+		}
+		sortKeys, err = query.ParseSort(opts.Sort)
+		if err != nil {
+			return nil, err
+		}
+		skip, limit = opts.Skip, opts.Limit
+	}
+
+	c.mu.RLock()
+	matched := c.scanLocked(flt)
+	// Copy out under the read lock so the cursor is a stable snapshot.
+	results := make([]document.D, 0, len(matched))
+	for _, id := range matched {
+		results = append(results, proj.Apply(c.docs[id]))
+	}
+	c.mu.RUnlock()
+
+	query.SortDocs(results, sortKeys)
+	if skip > 0 {
+		if skip >= len(results) {
+			results = nil
+		} else {
+			results = results[skip:]
+		}
+	}
+	if limit > 0 && limit < len(results) {
+		results = results[:limit]
+	}
+	c.profile("find", start, len(results))
+	return &Cursor{docs: results}, nil
+}
+
+// FindAll is Find followed by draining the cursor.
+func (c *Collection) FindAll(filter document.D, opts *FindOpts) ([]document.D, error) {
+	cur, err := c.Find(filter, opts)
+	if err != nil {
+		return nil, err
+	}
+	return cur.All(), nil
+}
+
+// FindOne returns the first matching document, or ErrNotFound.
+func (c *Collection) FindOne(filter document.D, opts *FindOpts) (document.D, error) {
+	o := FindOpts{Limit: 1}
+	if opts != nil {
+		o = *opts
+		o.Limit = 1
+	}
+	docs, err := c.FindAll(filter, &o)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// FindID fetches a document by _id directly.
+func (c *Collection) FindID(id string) (document.D, error) {
+	c.mu.RLock()
+	d, ok := c.docs[id]
+	if !ok {
+		c.mu.RUnlock()
+		return nil, ErrNotFound
+	}
+	out := d.Copy()
+	c.mu.RUnlock()
+	return out, nil
+}
+
+// Count returns the number of documents matching filter.
+func (c *Collection) Count(filter document.D) (int, error) {
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.RLock()
+	n := len(c.scanLocked(flt))
+	c.mu.RUnlock()
+	return n, nil
+}
+
+// Distinct returns the distinct values at a dotted path among matching
+// documents. Array values contribute their elements. The result is sorted
+// by document.Compare order.
+func (c *Collection) Distinct(path string, filter document.D) ([]any, error) {
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	seen := make([]any, 0, 16)
+	add := func(v any) {
+		for _, s := range seen {
+			if document.Equal(s, v) {
+				return
+			}
+		}
+		seen = append(seen, v)
+	}
+	for _, id := range c.scanLocked(flt) {
+		v, ok := c.docs[id].Get(path)
+		if !ok {
+			continue
+		}
+		if arr, isArr := v.([]any); isArr {
+			for _, el := range arr {
+				add(el)
+			}
+		} else {
+			add(v)
+		}
+	}
+	c.mu.RUnlock()
+	sort.Slice(seen, func(i, j int) bool { return document.Compare(seen[i], seen[j]) < 0 })
+	return seen, nil
+}
+
+// UpdateResult reports what an update did.
+type UpdateResult struct {
+	Matched  int
+	Modified int
+}
+
+// UpdateOne applies an update to the first matching document.
+func (c *Collection) UpdateOne(filter, update document.D) (UpdateResult, error) {
+	return c.update(filter, update, false)
+}
+
+// UpdateMany applies an update to every matching document.
+func (c *Collection) UpdateMany(filter, update document.D) (UpdateResult, error) {
+	return c.update(filter, update, true)
+}
+
+func (c *Collection) update(filter, update document.D, many bool) (UpdateResult, error) {
+	start := time.Now()
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	upd, err := query.CompileUpdate(update)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	var res UpdateResult
+	var logged []struct {
+		id  string
+		doc document.D
+	}
+	c.mu.Lock()
+	for _, id := range c.scanLocked(flt) {
+		res.Matched++
+		cur := c.docs[id]
+		next, err := upd.Apply(cur.Copy())
+		if err != nil {
+			c.mu.Unlock()
+			return res, err
+		}
+		if nid, ok := next["_id"].(string); !ok || nid != id {
+			c.mu.Unlock()
+			return res, fmt.Errorf("datastore: update may not change _id (collection %q)", c.name)
+		}
+		if !document.Equal(cur, next) {
+			c.replaceLocked(id, next)
+			res.Modified++
+			logged = append(logged, struct {
+				id  string
+				doc document.D
+			}{id, next})
+		}
+		if !many {
+			break
+		}
+	}
+	c.mu.Unlock()
+	for _, l := range logged {
+		c.log(journalUpdate, l.id, l.doc)
+	}
+	c.profile("update", start, res.Modified)
+	return res, nil
+}
+
+// Upsert behaves like UpdateOne, but inserts a new document when nothing
+// matches: equality fields of the filter seed the new document, then the
+// update applies. Returns the id of the updated or inserted document.
+func (c *Collection) Upsert(filter, update document.D) (string, error) {
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return "", err
+	}
+	upd, err := query.CompileUpdate(update)
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	c.mu.Lock()
+	ids := c.scanLocked(flt)
+	if len(ids) > 0 {
+		id := ids[0]
+		next, err := upd.Apply(c.docs[id].Copy())
+		if err != nil {
+			c.mu.Unlock()
+			return "", err
+		}
+		if nid, ok := next["_id"].(string); !ok || nid != id {
+			c.mu.Unlock()
+			return "", fmt.Errorf("datastore: upsert may not change _id")
+		}
+		c.replaceLocked(id, next)
+		c.mu.Unlock()
+		c.log(journalUpdate, id, next)
+		c.profile("update", start, 1)
+		return id, nil
+	}
+	seed := document.New()
+	for path, v := range flt.EqualityFields() {
+		if err := seed.Set(path, v); err != nil {
+			c.mu.Unlock()
+			return "", err
+		}
+	}
+	next, err := upd.Apply(seed)
+	if err != nil {
+		c.mu.Unlock()
+		return "", err
+	}
+	id, hasID := next["_id"].(string)
+	if !hasID {
+		id = nextID()
+		next["_id"] = id
+	}
+	if _, exists := c.docs[id]; exists {
+		c.mu.Unlock()
+		return "", fmt.Errorf("%w: %q in %q", ErrDuplicateID, id, c.name)
+	}
+	c.insertLocked(id, next)
+	c.mu.Unlock()
+	c.log(journalInsert, id, next)
+	c.profile("insert", start, 1)
+	return id, nil
+}
+
+// FindAndModify atomically finds the first document matching filter (in
+// the given sort order), applies the update, and returns the document.
+// If returnNew is true the post-update document is returned, otherwise the
+// pre-update one. This is the task-queue claim primitive: concurrent
+// workers calling FindAndModify on {state: "ready"} each receive a
+// distinct job.
+func (c *Collection) FindAndModify(filter, update document.D, sortSpec []string, returnNew bool) (document.D, error) {
+	start := time.Now()
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return nil, err
+	}
+	upd, err := query.CompileUpdate(update)
+	if err != nil {
+		return nil, err
+	}
+	sortKeys, err := query.ParseSort(sortSpec)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	ids := c.scanLocked(flt)
+	if len(ids) == 0 {
+		c.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	best := ids[0]
+	if len(sortKeys) > 0 {
+		for _, id := range ids[1:] {
+			if query.CompareByKeys(c.docs[id], c.docs[best], sortKeys) < 0 {
+				best = id
+			}
+		}
+	}
+	before := c.docs[best].Copy()
+	next, err := upd.Apply(c.docs[best].Copy())
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if nid, ok := next["_id"].(string); !ok || nid != best {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("datastore: findAndModify may not change _id")
+	}
+	c.replaceLocked(best, next)
+	out := before
+	if returnNew {
+		out = next.Copy()
+	}
+	c.mu.Unlock()
+	c.log(journalUpdate, best, next)
+	c.profile("findAndModify", start, 1)
+	return out, nil
+}
+
+// Remove deletes matching documents and reports how many were removed.
+func (c *Collection) Remove(filter document.D) (int, error) {
+	start := time.Now()
+	flt, err := query.Compile(filter)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	ids := c.scanLocked(flt)
+	for _, id := range ids {
+		c.removeLocked(id)
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.log(journalRemove, id, nil)
+	}
+	c.profile("remove", start, len(ids))
+	return len(ids), nil
+}
+
+// RemoveID deletes one document by id.
+func (c *Collection) RemoveID(id string) error {
+	c.mu.Lock()
+	_, ok := c.docs[id]
+	if !ok {
+		c.mu.Unlock()
+		return ErrNotFound
+	}
+	c.removeLocked(id)
+	c.mu.Unlock()
+	c.log(journalRemove, id, nil)
+	return nil
+}
+
+// profile records an operation in the store profiler.
+func (c *Collection) profile(op string, start time.Time, returned int) {
+	if c.store == nil || c.store.profiler == nil {
+		return
+	}
+	c.store.profiler.Record(ProfileEntry{
+		Collection: c.name,
+		Op:         op,
+		Duration:   time.Since(start),
+		Returned:   returned,
+		At:         start,
+	})
+}
+
+func (c *Collection) log(op journalOp, id string, doc document.D) {
+	if c.store == nil {
+		return
+	}
+	c.store.mu.RLock()
+	j := c.store.journal
+	c.store.mu.RUnlock()
+	if j != nil {
+		j.logWrite(c.name, op, id, doc)
+	}
+}

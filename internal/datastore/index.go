@@ -1,0 +1,292 @@
+package datastore
+
+import (
+	"fmt"
+	"sort"
+
+	"matproj/internal/document"
+	"matproj/internal/query"
+)
+
+// index is a secondary index over one dotted path. It maintains both a
+// hash map (value key -> ids) for equality/contains lookups and a sorted
+// key list for range scans. Array values are multikey: each element is
+// indexed, matching MongoDB.
+type index struct {
+	path string
+	// buckets maps a canonical key string to the set of doc ids holding
+	// that value (or containing it, for arrays).
+	buckets map[string]*bucket
+	// sorted holds bucket keys in document.Compare order of their sample
+	// values, rebuilt lazily for range scans.
+	sorted []string
+	dirty  bool
+}
+
+type bucket struct {
+	value any
+	ids   map[string]struct{}
+}
+
+// canonicalKey renders an indexable value to a map key. Numbers collapse
+// across int64/float64 so 3 and 3.0 share a bucket.
+func canonicalKey(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "z:null"
+	case bool:
+		return fmt.Sprintf("b:%v", x)
+	case int64:
+		return fmt.Sprintf("n:%g", float64(x))
+	case float64:
+		return fmt.Sprintf("n:%g", x)
+	case string:
+		return "s:" + x
+	default:
+		// Documents/arrays index by their JSON form.
+		b, err := document.D{"v": v}.ToJSON()
+		if err != nil {
+			return fmt.Sprintf("x:%v", v)
+		}
+		return "j:" + string(b)
+	}
+}
+
+func newIndex(path string) *index {
+	return &index{path: path, buckets: make(map[string]*bucket)}
+}
+
+// keysFor lists the index keys a document contributes for this path.
+func (ix *index) keysFor(d document.D) []any {
+	v, ok := d.Get(ix.path)
+	if !ok {
+		return nil
+	}
+	if arr, isArr := v.([]any); isArr {
+		out := make([]any, 0, len(arr)+1)
+		out = append(out, arr...)
+		return out
+	}
+	return []any{v}
+}
+
+func (ix *index) add(id string, d document.D) {
+	for _, v := range ix.keysFor(d) {
+		k := canonicalKey(v)
+		b, ok := ix.buckets[k]
+		if !ok {
+			b = &bucket{value: v, ids: make(map[string]struct{})}
+			ix.buckets[k] = b
+			ix.dirty = true
+		}
+		b.ids[id] = struct{}{}
+	}
+}
+
+func (ix *index) remove(id string, d document.D) {
+	for _, v := range ix.keysFor(d) {
+		k := canonicalKey(v)
+		if b, ok := ix.buckets[k]; ok {
+			delete(b.ids, id)
+			if len(b.ids) == 0 {
+				delete(ix.buckets, k)
+				ix.dirty = true
+			}
+		}
+	}
+}
+
+// lookup returns ids of documents whose indexed path equals (or, for
+// multikey, contains) v.
+func (ix *index) lookup(v any) map[string]struct{} {
+	b, ok := ix.buckets[canonicalKey(v)]
+	if !ok {
+		return nil
+	}
+	return b.ids
+}
+
+// rangeLookup returns ids whose indexed value lies within the constraint
+// bounds.
+func (ix *index) rangeLookup(rc query.RangeConstraint) map[string]struct{} {
+	if ix.dirty {
+		ix.sorted = ix.sorted[:0]
+		for k := range ix.buckets {
+			ix.sorted = append(ix.sorted, k)
+		}
+		sort.Slice(ix.sorted, func(i, j int) bool {
+			return document.Compare(ix.buckets[ix.sorted[i]].value, ix.buckets[ix.sorted[j]].value) < 0
+		})
+		ix.dirty = false
+	}
+	out := make(map[string]struct{})
+	for _, k := range ix.sorted {
+		b := ix.buckets[k]
+		if rc.HasMin {
+			c := document.Compare(b.value, rc.Min)
+			if c < 0 || (c == 0 && rc.MinOpen) {
+				continue
+			}
+		}
+		if rc.HasMax {
+			c := document.Compare(b.value, rc.Max)
+			if c > 0 || (c == 0 && rc.MaxOpen) {
+				break
+			}
+		}
+		for id := range b.ids {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// EnsureIndex creates a secondary index on a dotted path, backfilling from
+// existing documents. Creating an existing index is a no-op.
+func (c *Collection) EnsureIndex(path string) {
+	if path == "" || path == "_id" {
+		return // _id is always the primary key
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[path]; ok {
+		return
+	}
+	ix := newIndex(path)
+	for id, d := range c.docs {
+		ix.add(id, d)
+	}
+	c.indexes[path] = ix
+}
+
+// DropIndex removes a secondary index.
+func (c *Collection) DropIndex(path string) {
+	c.mu.Lock()
+	delete(c.indexes, path)
+	c.mu.Unlock()
+}
+
+// scanLocked evaluates a compiled filter and returns matching ids in
+// insertion order. The caller must hold at least a read lock.
+//
+// Planner: _id equality resolves directly; otherwise each indexed
+// equality/contains/range constraint yields a candidate id set and the
+// smallest set is verified against the full filter. With no usable index
+// the whole collection is scanned.
+func (c *Collection) scanLocked(flt *query.Filter) []string {
+	// Fast path: _id pinned.
+	if flt != nil {
+		if idv, ok := flt.EqualityFields()["_id"]; ok {
+			if id, isStr := idv.(string); isStr {
+				if d, exists := c.docs[id]; exists && flt.Matches(d) {
+					return []string{id}
+				}
+				return nil
+			}
+		}
+	}
+	candidates := c.planLocked(flt)
+	var out []string
+	if candidates == nil {
+		for _, id := range c.order {
+			if flt.Matches(c.docs[id]) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	// Verify only the candidates, restoring insertion order via the
+	// per-id sequence numbers (cheaper than walking the whole order
+	// slice when the index is selective).
+	ids := make([]string, 0, len(candidates))
+	for id := range candidates {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return c.seq[ids[i]] < c.seq[ids[j]] })
+	for _, id := range ids {
+		if flt.Matches(c.docs[id]) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// planLocked returns the smallest candidate id set derivable from
+// indexes, or nil when no index applies (full scan). Equality and
+// contains constraints resolve to existing hash buckets (no copying);
+// range constraints require materializing an id set, so they are only
+// consulted when no hash bucket applies.
+func (c *Collection) planLocked(flt *query.Filter) map[string]struct{} {
+	if flt == nil || len(c.indexes) == 0 {
+		return nil
+	}
+	var best map[string]struct{}
+	consider := func(set map[string]struct{}) {
+		if set == nil {
+			return
+		}
+		if best == nil || len(set) < len(best) {
+			best = set
+		}
+	}
+	found := false
+	for path, v := range flt.EqualityFields() {
+		if ix, ok := c.indexes[path]; ok {
+			ids := ix.lookup(v)
+			if ids == nil {
+				ids = map[string]struct{}{}
+			}
+			consider(ids)
+			found = true
+		}
+	}
+	for _, fc := range flt.ContainsFields() {
+		if ix, ok := c.indexes[fc.Path]; ok {
+			ids := ix.lookup(fc.Value)
+			if ids == nil {
+				ids = map[string]struct{}{}
+			}
+			consider(ids)
+			found = true
+		}
+	}
+	if found {
+		return best
+	}
+	for _, rc := range flt.RangeFields() {
+		if ix, ok := c.indexes[rc.Path]; ok {
+			consider(ix.rangeLookup(rc))
+		}
+	}
+	return best
+}
+
+// Cursor iterates a result snapshot. Cursors are not safe for concurrent
+// use; each goroutine should obtain its own.
+type Cursor struct {
+	docs []document.D
+	pos  int
+}
+
+// Next returns the next document, or nil when exhausted.
+func (cur *Cursor) Next() document.D {
+	if cur.pos >= len(cur.docs) {
+		return nil
+	}
+	d := cur.docs[cur.pos]
+	cur.pos++
+	return d
+}
+
+// All drains the cursor from the current position.
+func (cur *Cursor) All() []document.D {
+	out := cur.docs[cur.pos:]
+	cur.pos = len(cur.docs)
+	return out
+}
+
+// Len reports the total number of documents in the cursor's snapshot.
+func (cur *Cursor) Len() int { return len(cur.docs) }
+
+// Rewind resets the cursor to the beginning of its snapshot.
+func (cur *Cursor) Rewind() { cur.pos = 0 }

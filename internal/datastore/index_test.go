@@ -1,0 +1,200 @@
+package datastore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"matproj/internal/document"
+)
+
+// seedElements populates a collection with n docs cycling through element
+// combinations and returns it.
+func seedElements(tb testing.TB, n int) *Collection {
+	tb.Helper()
+	c := MustOpenMemory().C("mps")
+	combos := [][]any{
+		{"Li", "O"}, {"Li", "Fe", "O"}, {"Na", "O"}, {"Fe", "O"}, {"Li", "Co", "O"},
+	}
+	for i := 0; i < n; i++ {
+		_, err := c.Insert(document.D{
+			"_id":        fmt.Sprintf("m%06d", i),
+			"elements":   combos[i%len(combos)],
+			"nelectrons": int64(50 + i%300),
+			"formula":    fmt.Sprintf("F%d", i),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestIndexEqualityMatchesFullScan(t *testing.T) {
+	c := seedElements(t, 500)
+	filter := doc(`{"nelectrons": 120}`)
+	scan, _ := c.FindAll(filter, nil)
+	c.EnsureIndex("nelectrons")
+	indexed, _ := c.FindAll(filter, nil)
+	if len(scan) == 0 || len(scan) != len(indexed) {
+		t.Fatalf("scan=%d indexed=%d", len(scan), len(indexed))
+	}
+	for i := range scan {
+		if scan[i]["_id"] != indexed[i]["_id"] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+}
+
+func TestMultikeyIndexOnElements(t *testing.T) {
+	c := seedElements(t, 500)
+	filter := doc(`{"elements": {"$all": ["Li", "O"]}, "nelectrons": {"$lte": 200}}`)
+	scan, _ := c.FindAll(filter, nil)
+	c.EnsureIndex("elements")
+	indexed, _ := c.FindAll(filter, nil)
+	if len(scan) != len(indexed) {
+		t.Fatalf("scan=%d indexed=%d", len(scan), len(indexed))
+	}
+	// Scalar equality against multikey index.
+	li, _ := c.FindAll(doc(`{"elements": "Na"}`), nil)
+	if len(li) != 100 {
+		t.Errorf("Na count = %d, want 100", len(li))
+	}
+}
+
+func TestRangeIndexMatchesFullScan(t *testing.T) {
+	c := seedElements(t, 500)
+	for _, f := range []string{
+		`{"nelectrons": {"$gte": 100, "$lt": 150}}`,
+		`{"nelectrons": {"$gt": 100, "$lte": 150}}`,
+		`{"nelectrons": {"$lt": 75}}`,
+		`{"nelectrons": {"$gte": 340}}`,
+	} {
+		filter := doc(f)
+		scan, _ := c.FindAll(filter, nil)
+		c.EnsureIndex("nelectrons")
+		indexed, _ := c.FindAll(filter, nil)
+		if len(scan) != len(indexed) {
+			t.Errorf("%s: scan=%d indexed=%d", f, len(scan), len(indexed))
+		}
+		c.DropIndex("nelectrons")
+	}
+}
+
+func TestIndexMaintainedAcrossRemove(t *testing.T) {
+	c := seedElements(t, 100)
+	c.EnsureIndex("elements")
+	c.Remove(doc(`{"elements": "Na"}`))
+	got, _ := c.FindAll(doc(`{"elements": "Na"}`), nil)
+	if len(got) != 0 {
+		t.Errorf("stale index after remove: %d", len(got))
+	}
+}
+
+func TestEnsureIndexIdempotentAndIgnoresID(t *testing.T) {
+	c := seedElements(t, 10)
+	c.EnsureIndex("elements")
+	c.EnsureIndex("elements")
+	c.EnsureIndex("_id")
+	c.EnsureIndex("")
+	st := c.Stats()
+	if len(st.Indexes) != 1 {
+		t.Errorf("indexes = %v", st.Indexes)
+	}
+}
+
+func TestIDFastPath(t *testing.T) {
+	c := seedElements(t, 100)
+	got, _ := c.FindAll(doc(`{"_id": "m000042"}`), nil)
+	if len(got) != 1 || got[0]["formula"] != "F42" {
+		t.Errorf("got %v", got)
+	}
+	none, _ := c.FindAll(doc(`{"_id": "missing"}`), nil)
+	if len(none) != 0 {
+		t.Error("missing id matched")
+	}
+	// _id equality with extra non-matching condition.
+	none2, _ := c.FindAll(doc(`{"_id": "m000042", "formula": "WRONG"}`), nil)
+	if len(none2) != 0 {
+		t.Error("fast path ignored remaining filter")
+	}
+}
+
+func TestIndexCrossNumericEquality(t *testing.T) {
+	c := MustOpenMemory().C("x")
+	c.Insert(document.D{"n": int64(3)})
+	c.EnsureIndex("n")
+	got, _ := c.FindAll(document.D{"n": 3.0}, nil)
+	if len(got) != 1 {
+		t.Errorf("3.0 lookup found %d", len(got))
+	}
+}
+
+func TestIndexOnMissingFieldStillFindsOthers(t *testing.T) {
+	c := MustOpenMemory().C("x")
+	c.Insert(doc(`{"a": 1}`))
+	c.Insert(doc(`{"b": 2}`))
+	c.EnsureIndex("a")
+	// Filter on an indexed field: index gives candidates; doc without the
+	// field must not match.
+	got, _ := c.FindAll(doc(`{"a": 1}`), nil)
+	if len(got) != 1 {
+		t.Errorf("got %d", len(got))
+	}
+	// Lookup of absent value returns empty candidate set, not full scan.
+	none, _ := c.FindAll(doc(`{"a": 99}`), nil)
+	if len(none) != 0 {
+		t.Errorf("got %d", len(none))
+	}
+}
+
+func TestQuickIndexedEqualsScan(t *testing.T) {
+	f := func(vals []uint8, probe uint8) bool {
+		ci := MustOpenMemory().C("i")
+		cs := MustOpenMemory().C("s")
+		for i, v := range vals {
+			d := document.D{"_id": fmt.Sprintf("d%d", i), "v": int64(v % 8)}
+			ci.Insert(d)
+			cs.Insert(d)
+		}
+		ci.EnsureIndex("v")
+		filter := document.D{"v": int64(probe % 8)}
+		a, _ := ci.FindAll(filter, nil)
+		b, _ := cs.FindAll(filter, nil)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i]["_id"] != b[i]["_id"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRangeIndexedEqualsScan(t *testing.T) {
+	f := func(vals []int16, lo, hi int16) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ci := MustOpenMemory().C("i")
+		cs := MustOpenMemory().C("s")
+		for i, v := range vals {
+			d := document.D{"_id": fmt.Sprintf("d%d", i), "v": int64(v)}
+			ci.Insert(d)
+			cs.Insert(d)
+		}
+		ci.EnsureIndex("v")
+		filter := document.D{"v": document.D{"$gte": int64(lo), "$lte": int64(hi)}}
+		a, _ := ci.FindAll(filter, nil)
+		b, _ := cs.FindAll(filter, nil)
+		return len(a) == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

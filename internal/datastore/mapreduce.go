@@ -1,0 +1,87 @@
+package datastore
+
+import (
+	"sort"
+
+	"matproj/internal/document"
+)
+
+// Built-in MapReduce, modelled on MongoDB's: the paper (§IV-C2) notes that
+// "MongoDB's built-in MapReduce functionality is severely limited by
+// implementation within a single-threaded Javascript engine". We
+// reproduce that limitation faithfully: this engine runs strictly
+// single-threaded and pays a serialization round trip per document,
+// mirroring the BSON→JS value conversion that dominates Mongo's MR cost.
+// The parallel alternative lives in internal/mapreduce (the "Hadoop" of
+// the §IV-B2 comparison).
+
+// MapFunc emits zero or more key/value pairs for a document.
+type MapFunc func(doc document.D, emit func(key string, value any))
+
+// ReduceFunc folds the values emitted for one key into a single value.
+// It may be called repeatedly on partial results (re-reduce), so it must
+// be associative over its output type.
+type ReduceFunc func(key string, values []any) any
+
+// MapReduce runs the built-in single-threaded engine over documents
+// matching filter and returns one document per key:
+// {"_id": key, "value": reduced}. Results are sorted by key.
+func (c *Collection) MapReduce(filter document.D, mapper MapFunc, reducer ReduceFunc) ([]document.D, error) {
+	docs, err := c.FindAll(filter, nil)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]any)
+	var keys []string
+	for _, d := range docs {
+		// The serialization round trip is the deliberate single-threaded
+		// JS-engine tax (see package comment above).
+		b, err := d.ToJSON()
+		if err != nil {
+			return nil, err
+		}
+		jsDoc, err := document.FromJSON(b)
+		if err != nil {
+			return nil, err
+		}
+		mapper(jsDoc, func(key string, value any) {
+			if _, seen := groups[key]; !seen {
+				keys = append(keys, key)
+			}
+			groups[key] = append(groups[key], document.Normalize(value))
+		})
+	}
+	sort.Strings(keys)
+	out := make([]document.D, 0, len(keys))
+	for _, k := range keys {
+		vals := groups[k]
+		var v any
+		if len(vals) == 1 {
+			v = vals[0]
+		} else {
+			v = document.Normalize(reducer(k, vals))
+		}
+		out = append(out, document.D{"_id": k, "value": v})
+	}
+	return out, nil
+}
+
+// MapReduceInto runs MapReduce and replaces the target collection's
+// contents with the results, mirroring MongoDB's {out: <collection>}
+// option. This is how the materials collection is rebuilt from tasks in
+// the builder.
+func (c *Collection) MapReduceInto(filter document.D, mapper MapFunc, reducer ReduceFunc, target *Collection) (int, error) {
+	res, err := c.MapReduce(filter, mapper, reducer)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := target.Remove(document.D{}); err != nil {
+		return 0, err
+	}
+	for _, d := range res {
+		if _, err := target.Insert(d); err != nil {
+			return 0, err
+		}
+	}
+	return len(res), nil
+}

@@ -1,0 +1,234 @@
+package datastore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"matproj/internal/document"
+)
+
+// Durability: the store appends every write to a JSON-lines journal. A
+// snapshot rewrites the full contents of every collection into a snapshot
+// file and truncates the journal; on open, the snapshot is loaded and the
+// journal replayed on top. This is deliberately simple — the paper's
+// deployment ran a single mongod whose durability model MP treated as a
+// black box; what matters here is that a store can be shut down and
+// reopened between pipeline stages (e.g. the manual "data loading" step
+// of §IV-C1).
+
+type journalOp string
+
+const (
+	journalInsert journalOp = "i"
+	journalUpdate journalOp = "u"
+	journalRemove journalOp = "r"
+	journalDrop   journalOp = "d"
+)
+
+type journalRecord struct {
+	Op         journalOp       `json:"op"`
+	Collection string          `json:"c"`
+	ID         string          `json:"id,omitempty"`
+	Doc        json.RawMessage `json:"doc,omitempty"`
+}
+
+type journal struct {
+	mu   sync.Mutex
+	dir  string
+	file *os.File
+	w    *bufio.Writer
+}
+
+func journalPath(dir string) string  { return filepath.Join(dir, "journal.ndjson") }
+func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot.ndjson") }
+
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("datastore: create dir: %w", err)
+	}
+	f, err := os.OpenFile(journalPath(dir), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: open journal: %w", err)
+	}
+	return &journal{dir: dir, file: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.file.Close()
+		j.file = nil
+		return err
+	}
+	err := j.file.Close()
+	j.file = nil
+	return err
+}
+
+func (j *journal) append(rec journalRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	j.w.Write(b)
+	j.w.WriteByte('\n')
+	// Flush per record: cheap at our scale and keeps reopen loss-free.
+	j.w.Flush()
+}
+
+func (j *journal) logWrite(coll string, op journalOp, id string, doc document.D) {
+	var raw json.RawMessage
+	if doc != nil {
+		b, err := doc.ToJSON()
+		if err != nil {
+			return
+		}
+		raw = b
+	}
+	j.append(journalRecord{Op: op, Collection: coll, ID: id, Doc: raw})
+}
+
+func (j *journal) logDrop(coll string) {
+	j.append(journalRecord{Op: journalDrop, Collection: coll})
+}
+
+// replay loads the snapshot then re-applies the journal into s. Called
+// before s.journal is set, so replayed writes are not re-journaled.
+func (j *journal) replay(s *Store) error {
+	if err := replayFile(s, snapshotPath(j.dir)); err != nil {
+		return err
+	}
+	return replayFile(s, journalPath(j.dir))
+}
+
+func replayFile(s *Store, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("datastore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("datastore: %s line %d: %w", path, line, err)
+		}
+		c := s.C(rec.Collection)
+		switch rec.Op {
+		case journalInsert, journalUpdate:
+			d, err := document.FromJSON(rec.Doc)
+			if err != nil {
+				return fmt.Errorf("datastore: %s line %d: doc: %w", path, line, err)
+			}
+			c.mu.Lock()
+			if _, exists := c.docs[rec.ID]; exists {
+				c.replaceLocked(rec.ID, d)
+			} else {
+				c.insertLocked(rec.ID, d)
+			}
+			c.mu.Unlock()
+		case journalRemove:
+			c.mu.Lock()
+			c.removeLocked(rec.ID)
+			c.mu.Unlock()
+		case journalDrop:
+			s.mu.Lock()
+			delete(s.collections, rec.Collection)
+			s.mu.Unlock()
+		default:
+			return fmt.Errorf("datastore: %s line %d: unknown op %q", path, line, rec.Op)
+		}
+	}
+	return sc.Err()
+}
+
+// snapshot serializes every collection to the snapshot file and truncates
+// the journal.
+func (j *journal) snapshot(s *Store) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := snapshotPath(j.dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("datastore: snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+
+	s.mu.RLock()
+	colls := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		colls = append(colls, c)
+	}
+	s.mu.RUnlock()
+
+	for _, c := range colls {
+		c.mu.RLock()
+		for _, id := range c.order {
+			b, err := c.docs[id].ToJSON()
+			if err != nil {
+				c.mu.RUnlock()
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("datastore: snapshot doc encode: %w", err)
+			}
+			rec := journalRecord{Op: journalInsert, Collection: c.name, ID: id, Doc: b}
+			if err := enc.Encode(rec); err != nil {
+				c.mu.RUnlock()
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("datastore: snapshot encode: %w", err)
+			}
+		}
+		c.mu.RUnlock()
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snapshotPath(j.dir)); err != nil {
+		return err
+	}
+	// Truncate the journal now that its contents are in the snapshot.
+	if j.file != nil {
+		j.w.Flush()
+		j.file.Close()
+	}
+	if err := os.Truncate(journalPath(j.dir), 0); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(journalPath(j.dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	j.file = nf
+	j.w = bufio.NewWriter(nf)
+	return nil
+}

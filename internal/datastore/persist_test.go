@@ -1,0 +1,162 @@
+package datastore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"matproj/internal/document"
+)
+
+func TestJournalReplayRestoresStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.C("mps")
+	id, _ := c.Insert(doc(`{"formula": "Fe2O3", "nsites": 10}`))
+	c.Insert(doc(`{"_id": "keep", "v": 1}`))
+	c.Insert(doc(`{"_id": "gone", "v": 2}`))
+	c.UpdateOne(doc(`{"_id": "keep"}`), doc(`{"$set": {"v": 42}}`))
+	c.RemoveID("gone")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c2 := s2.C("mps")
+	n, _ := c2.Count(nil)
+	if n != 2 {
+		t.Fatalf("count after replay = %d", n)
+	}
+	got, err := c2.FindID(id)
+	if err != nil || got["formula"] != "Fe2O3" {
+		t.Errorf("doc = %v err = %v", got, err)
+	}
+	kept, _ := c2.FindID("keep")
+	if kept["v"] != int64(42) {
+		t.Errorf("update not replayed: %v", kept["v"])
+	}
+	if _, err := c2.FindID("gone"); !errors.Is(err, ErrNotFound) {
+		t.Error("remove not replayed")
+	}
+}
+
+func TestSnapshotTruncatesJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	c := s.C("x")
+	for i := 0; i < 50; i++ {
+		c.Insert(document.D{"n": int64(i)})
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	jinfo, err := os.Stat(filepath.Join(dir, "journal.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jinfo.Size() != 0 {
+		t.Errorf("journal size after snapshot = %d", jinfo.Size())
+	}
+	// Writes after snapshot land in the journal and replay on top.
+	c.Insert(doc(`{"_id": "post", "n": 999}`))
+	s.Close()
+
+	s2, _ := Open(dir)
+	defer s2.Close()
+	n, _ := s2.C("x").Count(nil)
+	if n != 51 {
+		t.Errorf("count = %d, want 51", n)
+	}
+	if _, err := s2.C("x").FindID("post"); err != nil {
+		t.Errorf("post-snapshot doc lost: %v", err)
+	}
+}
+
+func TestDropCollectionPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.C("temp").Insert(doc(`{"v": 1}`))
+	s.C("keep").Insert(doc(`{"v": 2}`))
+	s.DropCollection("temp")
+	s.Close()
+
+	s2, _ := Open(dir)
+	defer s2.Close()
+	for _, name := range s2.Collections() {
+		if name == "temp" {
+			t.Error("dropped collection resurrected")
+		}
+	}
+	n, _ := s2.C("keep").Count(nil)
+	if n != 1 {
+		t.Errorf("keep count = %d", n)
+	}
+}
+
+func TestMemoryStoreSnapshotNoop(t *testing.T) {
+	s := MustOpenMemory()
+	if err := s.Snapshot(); err != nil {
+		t.Errorf("memory snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestReplayCorruptJournalFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt journal: want error")
+	}
+	// Unknown op also fails.
+	os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte(`{"op":"zz","c":"x"}`+"\n"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("unknown op: want error")
+	}
+}
+
+func TestReplayEmptyLinesTolerated(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"op":"i","c":"x","id":"a","doc":{"v":1}}` + "\n\n" + `{"op":"i","c":"x","id":"b","doc":{"v":2}}` + "\n"
+	os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte(content), 0o644)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n, _ := s.C("x").Count(nil)
+	if n != 2 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestReplayUpdateForUnknownIDInserts(t *testing.T) {
+	// An update record for an id missing from the snapshot (possible after
+	// journal truncation edge cases) must still materialize the document.
+	dir := t.TempDir()
+	content := `{"op":"u","c":"x","id":"a","doc":{"_id":"a","v":9}}` + "\n"
+	os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte(content), 0o644)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.C("x").FindID("a")
+	if err != nil || got["v"] != int64(9) {
+		t.Errorf("got %v err %v", got, err)
+	}
+}

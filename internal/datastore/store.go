@@ -1,0 +1,225 @@
+// Package datastore implements the document-oriented NoSQL store at the
+// center of the Materials Project architecture (the role MongoDB plays in
+// the paper). A Store holds named Collections of JSON-like documents and
+// supports Mongo-style queries, atomic updates, find-and-modify (the
+// primitive the workflow engine uses to claim jobs), secondary indexes
+// (hash and ordered, multikey over arrays), cursors, distinct, a built-in
+// single-threaded MapReduce (mimicking MongoDB's JavaScript engine), and
+// optional durability via an append-only journal plus snapshots.
+//
+// The same deployment simultaneously serves as (a) workflow state manager,
+// (b) analytics store, and (c) web back-end — the paper's first
+// contribution.
+package datastore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is a database: a set of named collections. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+	journal     *journal
+	profiler    *Profiler
+}
+
+// Open creates an in-memory store. If dir is non-empty, the store is
+// durable: existing snapshot and journal files in dir are replayed on
+// open, and subsequent writes append to the journal.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		collections: make(map[string]*Collection),
+		profiler:    NewProfiler(4096),
+	}
+	if dir != "" {
+		j, err := openJournal(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := j.replay(s); err != nil {
+			return nil, err
+		}
+		s.journal = j
+	}
+	return s, nil
+}
+
+// MustOpenMemory returns an in-memory store, panicking on the (impossible
+// for memory stores) error path. For tests and examples.
+func MustOpenMemory() *Store {
+	s, err := Open("")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Close flushes and closes the journal, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		err := s.journal.close()
+		s.journal = nil
+		return err
+	}
+	return nil
+}
+
+// C returns the named collection, creating it on first use (MongoDB
+// semantics: collections appear implicitly).
+func (s *Store) C(name string) *Collection {
+	s.mu.RLock()
+	c, ok := s.collections[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c = newCollection(name, s)
+	s.collections[name] = c
+	return c
+}
+
+// Collections returns the names of all collections, sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropCollection removes a collection and all its documents and indexes.
+func (s *Store) DropCollection(name string) {
+	s.mu.Lock()
+	delete(s.collections, name)
+	j := s.journal
+	s.mu.Unlock()
+	if j != nil {
+		j.logDrop(name)
+	}
+}
+
+// Profiler returns the store-wide query profiler (the source of the
+// Fig. 5 latency data).
+func (s *Store) Profiler() *Profiler { return s.profiler }
+
+// Snapshot writes a full snapshot of every collection and truncates the
+// journal. No-op for memory-only stores.
+func (s *Store) Snapshot() error {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return nil
+	}
+	return j.snapshot(s)
+}
+
+// Stats summarizes the whole store.
+type StoreStats struct {
+	Collections int
+	Documents   int
+	Bytes       int
+}
+
+// Stats reports document and byte counts over all collections.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st StoreStats
+	st.Collections = len(s.collections)
+	for _, c := range s.collections {
+		cs := c.Stats()
+		st.Documents += cs.Documents
+		st.Bytes += cs.Bytes
+	}
+	return st
+}
+
+// Profiler records per-operation latencies in a bounded ring, exactly the
+// data behind the paper's Fig. 5 histogram and time-series inset.
+type Profiler struct {
+	mu      sync.Mutex
+	ring    []ProfileEntry
+	next    int
+	filled  bool
+	total   uint64
+	records uint64
+}
+
+// ProfileEntry is one profiled operation.
+type ProfileEntry struct {
+	Collection string
+	Op         string // "find", "update", "insert", ...
+	Duration   time.Duration
+	Returned   int
+	At         time.Time
+}
+
+// NewProfiler returns a profiler retaining the most recent n entries.
+func NewProfiler(n int) *Profiler {
+	if n <= 0 {
+		n = 1
+	}
+	return &Profiler{ring: make([]ProfileEntry, n)}
+}
+
+// Record appends an entry to the ring.
+func (p *Profiler) Record(e ProfileEntry) {
+	p.mu.Lock()
+	p.ring[p.next] = e
+	p.next++
+	if p.next == len(p.ring) {
+		p.next = 0
+		p.filled = true
+	}
+	p.total++
+	p.records += uint64(e.Returned)
+	p.mu.Unlock()
+}
+
+// Entries returns the retained entries, oldest first.
+func (p *Profiler) Entries() []ProfileEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.filled {
+		out := make([]ProfileEntry, p.next)
+		copy(out, p.ring[:p.next])
+		return out
+	}
+	out := make([]ProfileEntry, 0, len(p.ring))
+	out = append(out, p.ring[p.next:]...)
+	out = append(out, p.ring[:p.next]...)
+	return out
+}
+
+// Totals reports the lifetime operation and returned-record counts,
+// matching the paper's "3315 distinct queries returning a total of
+// 12,951,099 records" style of accounting.
+func (p *Profiler) Totals() (ops, records uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total, p.records
+}
+
+// ErrNotFound is returned by operations that require a matching document
+// when none exists.
+var ErrNotFound = fmt.Errorf("datastore: no matching document")
+
+// ErrDuplicateID is returned when inserting a document whose _id already
+// exists in the collection.
+var ErrDuplicateID = fmt.Errorf("datastore: duplicate _id")

@@ -1,0 +1,208 @@
+package dft
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"matproj/internal/crystal"
+)
+
+// The OUTCAR analogue: the simulator renders a multi-kB text log per run
+// ("from a small input ... several MB of intermediate output data",
+// §III-B) which the Analyzer must parse and reduce before loading into
+// the datastore. renderOutcar writes it; ParseOutcar reduces it back to a
+// compact summary.
+
+// renderOutcar renders the verbose run log.
+func renderOutcar(st *crystal.Structure, p Params, res *Result, history []float64) []byte {
+	var b bytes.Buffer
+	comp := st.Composition()
+	fmt.Fprintf(&b, " vasp.sim.1.0 (matproj synthetic DFT)\n")
+	fmt.Fprintf(&b, " POSCAR: %s\n", comp.Formula())
+	fmt.Fprintf(&b, " ions per type = ")
+	for _, sym := range comp.Elements() {
+		fmt.Fprintf(&b, "%s:%d ", sym, int(comp[sym]))
+	}
+	fmt.Fprintf(&b, "\n NELECT = %.1f\n", comp.NumElectrons())
+	fmt.Fprintf(&b, " ENCUT  = %.1f eV\n", p.Encut)
+	fmt.Fprintf(&b, " EDIFF  = %.2e\n", p.EDiff)
+	fmt.Fprintf(&b, " NELM   = %d\n", p.NELM)
+	fmt.Fprintf(&b, " ALGO   = %s\n", p.Algo)
+	fmt.Fprintf(&b, " POTIM  = %.3f\n", p.Potim)
+	fmt.Fprintf(&b, " KPOINTS: %d x %d x %d (%d irreducible)\n",
+		p.KMesh[0], p.KMesh[1], p.KMesh[2], res.NKPoints)
+	fmt.Fprintf(&b, " functional: %s\n", p.Functional)
+	fmt.Fprintf(&b, " lattice volume: %.4f A^3\n", st.Lattice.Volume())
+	b.WriteString("--------------------------------------------------\n")
+
+	// Per-step SCF table: this is the bulky intermediate data.
+	for i, r := range history {
+		fmt.Fprintf(&b, "DAV: %4d   dE= %.8E   residual= %.8E   ncg= %4d\n",
+			i+1, r*0.7, r, 40+i%17)
+	}
+	b.WriteString("--------------------------------------------------\n")
+
+	switch res.Code {
+	case ErrZBrent:
+		b.WriteString("ZBRENT: fatal error in bracketing\n")
+		b.WriteString("    please rerun with smaller POTIM\n")
+	case ErrNonConverged:
+		fmt.Fprintf(&b, "WARNING: aborting loop because NELM=%d steps reached\n", p.NELM)
+		b.WriteString("         electronic self-consistency was not achieved\n")
+	default:
+		fmt.Fprintf(&b, " reached required accuracy after %d steps\n", res.SCFSteps)
+		fmt.Fprintf(&b, " free  energy   TOTEN  = %.8f eV\n", res.FinalEnergy)
+		fmt.Fprintf(&b, " energy per atom        = %.8f eV\n", res.EnergyPA)
+		fmt.Fprintf(&b, " band gap               = %.4f eV\n", res.Bandgap)
+		fmt.Fprintf(&b, " max residual force     = %.6f eV/A\n", res.MaxForce)
+		fmt.Fprintf(&b, " charge density dipole  = %.6f e*A\n", res.ChargeDipole)
+	}
+	fmt.Fprintf(&b, " Elapsed time (sec): %.1f\n", res.Runtime.Seconds())
+	fmt.Fprintf(&b, " General timing and accounting for job: done\n")
+	return b.Bytes()
+}
+
+// Summary is the reduced form of an OUTCAR — what actually enters the
+// tasks collection (hundreds of bytes instead of kilobytes/megabytes).
+type Summary struct {
+	Formula     string
+	NElectrons  float64
+	Code        FailureCode
+	FinalEnergy float64
+	EnergyPA    float64
+	Bandgap     float64
+	MaxForce    float64
+	SCFSteps    int
+	ElapsedSec  float64
+	Encut       float64
+	Algo        string
+	Functional  string
+}
+
+// ParseOutcar parses and reduces a raw run log. It is the FireWorks
+// Analyzer's workhorse: the multi-kB SCF history is discarded and only
+// the summary quantities survive.
+func ParseOutcar(raw []byte) (*Summary, error) {
+	s := &Summary{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	sawHeader := false
+	steps := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, " vasp.sim"):
+			sawHeader = true
+		case strings.HasPrefix(line, " POSCAR:"):
+			s.Formula = strings.TrimSpace(strings.TrimPrefix(line, " POSCAR:"))
+		case strings.HasPrefix(line, " NELECT ="):
+			s.NElectrons = parseFloatField(line)
+		case strings.HasPrefix(line, " ENCUT"):
+			s.Encut = parseFloatField(line)
+		case strings.HasPrefix(line, " ALGO"):
+			parts := strings.Fields(line)
+			s.Algo = parts[len(parts)-1]
+		case strings.HasPrefix(line, " functional:"):
+			s.Functional = strings.TrimSpace(strings.TrimPrefix(line, " functional:"))
+		case strings.HasPrefix(line, "DAV:"):
+			steps++
+		case strings.Contains(line, "ZBRENT: fatal error"):
+			s.Code = ErrZBrent
+		case strings.Contains(line, "electronic self-consistency was not achieved"):
+			s.Code = ErrNonConverged
+		case strings.Contains(line, "free  energy   TOTEN"):
+			s.FinalEnergy = parseFloatField(line)
+		case strings.Contains(line, "energy per atom"):
+			s.EnergyPA = parseFloatField(line)
+		case strings.Contains(line, "band gap"):
+			s.Bandgap = parseFloatField(line)
+		case strings.Contains(line, "max residual force"):
+			s.MaxForce = parseFloatField(line)
+		case strings.Contains(line, "Elapsed time (sec):"):
+			s.ElapsedSec = parseFloatField(line)
+		case strings.Contains(line, "reached required accuracy after"):
+			fields := strings.Fields(line)
+			for i, f := range fields {
+				if f == "after" && i+1 < len(fields) {
+					if n, err := strconv.Atoi(fields[i+1]); err == nil {
+						s.SCFSteps = n
+					}
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dft: parse outcar: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("dft: not a recognized run log")
+	}
+	if s.SCFSteps == 0 {
+		s.SCFSteps = steps
+	}
+	return s, nil
+}
+
+// parseFloatField extracts the last parseable float from a line,
+// tolerating trailing unit tokens ("eV", "eV/A").
+func parseFloatField(line string) float64 {
+	fields := strings.Fields(line)
+	for i := len(fields) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// BandStructure is the simulated band structure along a high-symmetry
+// path, one of the calculated-property types the datastore serves
+// ("3,000 bandstructures").
+type BandStructure struct {
+	Formula string
+	// KPath labels the sampled k-points.
+	KPath []string
+	// Bands[b][k] is the energy (eV) of band b at k-point k.
+	Bands [][]float64
+	// Gap is the band gap (eV); 0 for metals.
+	Gap float64
+}
+
+// ComputeBandStructure derives a band structure from a converged result:
+// a few free-electron-like bands with the model gap inserted at the Fermi
+// level. Deterministic per structure.
+func ComputeBandStructure(st *crystal.Structure, res *Result, nBands, nK int) *BandStructure {
+	if nBands < 2 {
+		nBands = 2
+	}
+	if nK < 2 {
+		nK = 2
+	}
+	h := structureHash(st)
+	labels := []string{"G", "X", "M", "G", "R"}
+	bs := &BandStructure{
+		Formula: st.Composition().Formula(),
+		Gap:     res.Bandgap,
+	}
+	for k := 0; k < nK; k++ {
+		bs.KPath = append(bs.KPath, labels[k*len(labels)/nK])
+	}
+	for b := 0; b < nBands; b++ {
+		band := make([]float64, nK)
+		offset := float64(b) * 1.3
+		if b >= nBands/2 {
+			offset += res.Bandgap
+		}
+		width := 1.5 + hashFloat(h, fmt.Sprintf("band%d", b))
+		for k := 0; k < nK; k++ {
+			x := float64(k) / float64(nK-1)
+			band[k] = offset - float64(nBands)/2*1.3 + width*(1-math.Cos(2*math.Pi*x))/2
+		}
+		bs.Bands = append(bs.Bands, band)
+	}
+	return bs
+}

@@ -1,0 +1,140 @@
+package document
+
+import "fmt"
+
+// Stats summarizes the structural complexity of a document tree, in the
+// form reported by Table I of the paper: total node count, maximum depth,
+// and mean depth of the leaves.
+//
+// Counting convention: the root document is depth 0 and is not itself a
+// node. Every key/value pair and every array element is one node; interior
+// nodes (sub-documents and arrays) count in Nodes but only leaves
+// contribute to MeanDepth. A leaf at the top level has depth 1.
+type Stats struct {
+	Nodes     int     // total nodes (interior + leaf)
+	Leaves    int     // leaf nodes (scalars, empty containers)
+	Depth     int     // maximum leaf depth
+	MeanDepth float64 // mean depth over leaves
+}
+
+// String formats the stats in the style of Table I.
+func (s Stats) String() string {
+	return fmt.Sprintf("Nodes: %d  Depth: %d  Mean depth: %.1f", s.Nodes, s.Depth, s.MeanDepth)
+}
+
+// Measure computes structure statistics for a single document.
+func Measure(d D) Stats {
+	var s Stats
+	var depthSum int
+	measureValue(map[string]any(d), 0, &s, &depthSum)
+	if s.Leaves > 0 {
+		s.MeanDepth = float64(depthSum) / float64(s.Leaves)
+	}
+	return s
+}
+
+func measureValue(v any, depth int, s *Stats, depthSum *int) {
+	switch x := v.(type) {
+	case map[string]any:
+		if len(x) == 0 && depth > 0 {
+			s.Leaves++
+			*depthSum += depth
+			if depth > s.Depth {
+				s.Depth = depth
+			}
+			return
+		}
+		for _, child := range x {
+			s.Nodes++
+			measureValue(child, depth+1, s, depthSum)
+		}
+	case D:
+		measureValue(map[string]any(x), depth, s, depthSum)
+	case []any:
+		if len(x) == 0 && depth > 0 {
+			s.Leaves++
+			*depthSum += depth
+			if depth > s.Depth {
+				s.Depth = depth
+			}
+			return
+		}
+		for _, child := range x {
+			s.Nodes++
+			measureValue(child, depth+1, s, depthSum)
+		}
+	default:
+		s.Leaves++
+		*depthSum += depth
+		if depth > s.Depth {
+			s.Depth = depth
+		}
+	}
+}
+
+// MeasureAll aggregates structure statistics across a set of documents:
+// Nodes and Depth are per-document maxima averaged/na; specifically, Nodes
+// is the mean node count rounded to nearest, Depth the maximum depth seen,
+// and MeanDepth the leaf-depth mean pooled over all documents. This
+// matches Table I, which characterizes a collection by a representative
+// document shape.
+func MeasureAll(docs []D) Stats {
+	var agg Stats
+	var depthSum float64
+	var totalLeaves int
+	var totalNodes int
+	for _, d := range docs {
+		s := Measure(d)
+		totalNodes += s.Nodes
+		totalLeaves += s.Leaves
+		depthSum += s.MeanDepth * float64(s.Leaves)
+		if s.Depth > agg.Depth {
+			agg.Depth = s.Depth
+		}
+	}
+	if len(docs) > 0 {
+		agg.Nodes = (totalNodes + len(docs)/2) / len(docs)
+	}
+	agg.Leaves = totalLeaves
+	if totalLeaves > 0 {
+		agg.MeanDepth = depthSum / float64(totalLeaves)
+	}
+	return agg
+}
+
+// ApproxSize estimates the serialized byte size of a document without
+// allocating the JSON encoding. Used for collection storage accounting.
+func ApproxSize(d D) int {
+	return approxSizeValue(map[string]any(d))
+}
+
+func approxSizeValue(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 4
+	case bool:
+		return 5
+	case int64:
+		return 8
+	case float64:
+		return 12
+	case string:
+		return len(x) + 2
+	case map[string]any:
+		n := 2
+		for k, child := range x {
+			n += len(k) + 3 + approxSizeValue(child)
+		}
+		return n
+	case D:
+		return approxSizeValue(map[string]any(x))
+	case []any:
+		n := 2
+		for _, child := range x {
+			n += 1 + approxSizeValue(child)
+		}
+		return n
+	default:
+		return len(fmt.Sprint(x))
+	}
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableIOrdering(t *testing.T) {
+	rows, err := TableI(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]int{}
+	depth := map[string]int{}
+	for _, r := range rows {
+		byName[r.Collection] = r.Stats.Nodes
+		depth[r.Collection] = r.Stats.Depth
+	}
+	// Paper shape: tasks are the largest and deepest documents; battery
+	// prototypes the smallest; MPS and materials in between.
+	if !(byName["Tasks"] > byName["Materials Project Source (MPS)"]) {
+		t.Errorf("tasks (%d) should out-node MPS (%d)", byName["Tasks"], byName["Materials Project Source (MPS)"])
+	}
+	if !(byName["Tasks"] > byName["Battery prototypes"]) {
+		t.Errorf("tasks (%d) should out-node battery prototypes (%d)", byName["Tasks"], byName["Battery prototypes"])
+	}
+	if !(depth["Tasks"] >= depth["Battery prototypes"]) {
+		t.Errorf("tasks depth %d < battery depth %d", depth["Tasks"], depth["Battery prototypes"])
+	}
+	if !(byName["Materials"] > byName["Battery prototypes"]) {
+		t.Errorf("materials (%d) should out-node battery prototypes (%d)", byName["Materials"], byName["Battery prototypes"])
+	}
+	if !(byName["Materials"] > byName["Materials Project Source (MPS)"]) {
+		t.Errorf("materials (%d) should out-node MPS (%d): the view aggregates initial+final structures",
+			byName["Materials"], byName["Materials Project Source (MPS)"])
+	}
+	var buf bytes.Buffer
+	RenderTableI(&buf, rows)
+	if !strings.Contains(buf.String(), "TABLE I") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig1ShapeAndRender(t *testing.T) {
+	r, err := Fig1(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Candidates) < 5 {
+		t.Fatalf("candidates = %d", len(r.Candidates))
+	}
+	if len(r.Known) < 5 {
+		t.Fatal("known set shrunk")
+	}
+	var buf bytes.Buffer
+	RenderFig1(&buf, r)
+	out := buf.String()
+	if !strings.Contains(out, "known materials band") || !strings.Contains(out, "K") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig2FourRoles(t *testing.T) {
+	r, err := Fig2(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WorkflowOps == 0 {
+		t.Error("no workflow ops recorded")
+	}
+	if r.AnalyticsGroups == 0 {
+		t.Error("no analytics groups")
+	}
+	if r.VVChecks == 0 {
+		t.Error("no V&V checks")
+	}
+	if r.WebQueries == 0 || r.WebRecords == 0 {
+		t.Error("no web traffic")
+	}
+	// All roles hit the same store: engines, tasks, materials, vv_reports
+	// coexist.
+	joined := strings.Join(r.Collections, ",")
+	for _, c := range []string{"engines", "tasks", "materials", "vv_reports", "mps"} {
+		if !strings.Contains(joined, c) {
+			t.Errorf("collection %s missing from %v", c, r.Collections)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig2(&buf, r)
+	if !strings.Contains(buf.String(), "four roles") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig3Lifecycle(t *testing.T) {
+	steps, err := Fig3(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 6 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	for i, s := range steps {
+		if s.Stage != want[i] {
+			t.Errorf("step %d = %s", i, s.Stage)
+		}
+	}
+	// Release happened.
+	if !strings.Contains(steps[5].Info, "released") {
+		t.Errorf("final step = %+v", steps[5])
+	}
+	var buf bytes.Buffer
+	RenderFig3(&buf, steps)
+	if !strings.Contains(buf.String(), "(f)") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig4LiveAPI(t *testing.T) {
+	r, err := Fig4(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != 200 {
+		t.Fatalf("status = %d body = %s", r.Status, r.Body)
+	}
+	if r.Energy == 0 || r.Material == "" {
+		t.Errorf("result = %+v", r)
+	}
+	if !strings.HasPrefix(r.URI, "/rest/v1/materials/") || !strings.HasSuffix(r.URI, "/vasp/energy") {
+		t.Errorf("URI = %s", r.URI)
+	}
+	var buf bytes.Buffer
+	RenderFig4(&buf, r)
+	if !strings.Contains(buf.String(), "URI anatomy") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig5LatencyShape(t *testing.T) {
+	r, err := Fig5(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.N != Small.Queries {
+		t.Errorf("N = %d", r.Summary.N)
+	}
+	// Shape of the paper's Fig. 5: a dominant mode with a thin tail —
+	// p50 well under max, and the p99/p50 tail ratio finite and > 1.
+	if r.Summary.P50 <= 0 {
+		t.Errorf("p50 = %v", r.Summary.P50)
+	}
+	if r.Summary.Max < r.Summary.P99 || r.Summary.P99 < r.Summary.P50 {
+		t.Errorf("summary not monotone: %+v", r.Summary)
+	}
+	if r.Records == 0 {
+		t.Error("no records returned")
+	}
+	var buf bytes.Buffer
+	RenderFig5(&buf, r)
+	if !strings.Contains(buf.String(), "inset") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMapReduceComparisonShape(t *testing.T) {
+	rows, err := MapReduceComparison(Small, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's claim: the parallel engine is several times faster.
+	multi := rows[1]
+	if multi.Workers != 4 {
+		t.Fatalf("row order: %+v", rows)
+	}
+	if multi.Speedup < 1.5 {
+		t.Errorf("parallel speedup = %.2fx, want clearly > 1 (builtin %.1fms, parallel %.1fms)",
+			multi.Speedup, multi.BuiltinMs, multi.ParallelMs)
+	}
+	var buf bytes.Buffer
+	RenderMR(&buf, rows)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTaskFarmAblation(t *testing.T) {
+	rows, err := TaskFarm(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	farm, single := rows[0], rows[1]
+	// Task farming needs far fewer batch jobs for the same work.
+	if farm.Jobs >= single.Jobs {
+		t.Errorf("farm jobs %d >= single jobs %d", farm.Jobs, single.Jobs)
+	}
+	if farm.TasksDone == 0 || single.TasksDone == 0 {
+		t.Error("no tasks completed")
+	}
+	var buf bytes.Buffer
+	RenderTaskFarm(&buf, rows)
+	if !strings.Contains(buf.String(), "task farming") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFireworksFeatures(t *testing.T) {
+	r, err := FireworksFeatures(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fireworks == 0 || r.Completed == 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Duplicates == 0 {
+		t.Error("no duplicate completions at 30% redetermination rate")
+	}
+	if r.Reruns == 0 {
+		t.Error("no re-runs with 2h walltimes")
+	}
+	var buf bytes.Buffer
+	RenderFireworksFeatures(&buf, r)
+	if !strings.Contains(buf.String(), "detours") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestWeekStats(t *testing.T) {
+	r, err := WeekStats(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != Small.Queries {
+		t.Errorf("queries = %d", r.Queries)
+	}
+	if r.Records <= r.Queries/10 {
+		t.Errorf("records = %d for %d queries; workload too thin", r.Records, r.Queries)
+	}
+}
+
+func TestSortedKinds(t *testing.T) {
+	out := SortedKinds(map[string]int{"b": 2, "a": 1})
+	if out != "a=1 b=2" {
+		t.Errorf("out = %q", out)
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"io"
+	"net/http"
+)
+
+func newAuthedRequest(uri, key string) (*http.Request, error) {
+	req, err := http.NewRequest(http.MethodGet, uri, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-API-KEY", key)
+	return req, nil
+}
+
+func doRequest(req *http.Request) (*httpResult, error) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &httpResult{status: resp.StatusCode, body: string(body)}, nil
+}

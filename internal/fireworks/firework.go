@@ -1,0 +1,199 @@
+// Package fireworks reproduces the paper's custom workflow manager
+// (§III-C2/C3). A Firework is one step of a workflow, bundling:
+//
+//   - a Stage: the job specification as a queryable document of runtime
+//     parameters, stored directly in the datastore;
+//   - an Assembler: translates the Stage into concrete execution (for MP,
+//     VASP input files; here, a simulated DFT run);
+//   - a Fuse: delays execution until conditions hold (parents finished,
+//     specific parent outputs, user approval) and may override Stage
+//     parameters with Mongo-style $set/$unset updates that are recorded
+//     in the database for later analysis;
+//   - an Analyzer: runs after job completion and schedules follow-up
+//     actions — re-runs with more walltime, detours with tweaked
+//     parameters, iteration with escalating parameters, or aborting the
+//     workflow for manual intervention;
+//   - a Binder: a uniqueness key (e.g. crystal id + functional) enabling
+//     duplicate detection, so resubmitting a workflow is idempotent.
+//
+// All state lives in the datastore's engines collection ("jobs that are
+// waiting to be run, running, and completed"), with full results in the
+// tasks collection — the datastore-as-message-queue design that is the
+// paper's first contribution.
+package fireworks
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"matproj/internal/document"
+)
+
+// State is a firework's lifecycle state.
+type State string
+
+// Firework lifecycle states.
+const (
+	// StateWaiting: parents incomplete or fuse not satisfied.
+	StateWaiting State = "WAITING"
+	// StateReady: claimable by a worker.
+	StateReady State = "READY"
+	// StateRunning: claimed and executing.
+	StateRunning State = "RUNNING"
+	// StateCompleted: finished successfully (possibly via duplicate
+	// pointer or a completed detour).
+	StateCompleted State = "COMPLETED"
+	// StateFizzled: failed and superseded (by a rerun or detour).
+	StateFizzled State = "FIZZLED"
+	// StateDefused: aborted; needs manual intervention.
+	StateDefused State = "DEFUSED"
+)
+
+// Firework describes one workflow step at creation time.
+type Firework struct {
+	ID       string
+	Stage    document.D // job spec: queryable runtime parameters
+	Parents  []string   // firework ids that must complete first
+	Fuse     string     // registered fuse name ("" = default)
+	Analyzer string     // registered analyzer name ("" = none)
+	Binder   *Binder    // duplicate-detection key (nil = no dedup)
+	Priority int        // higher claims first
+}
+
+// Binder uniquely identifies a job by a subset of its stage fields — "a
+// reference to a crystal structure ID and the type of functional" in the
+// paper's VASP example.
+type Binder struct {
+	Fields []string
+}
+
+// Key renders the binder key for a stage. Missing fields render as null,
+// so two stages missing the same field still collide (intentionally).
+func (b *Binder) Key(stage document.D) string {
+	if b == nil || len(b.Fields) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, f := range b.Fields {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		v, ok := stage.Get(f)
+		if !ok {
+			sb.WriteString("null")
+			continue
+		}
+		fmt.Fprintf(&sb, "%v", v)
+	}
+	return sb.String()
+}
+
+// Fuse gates and rewrites a firework before launch.
+type Fuse interface {
+	// Ready reports whether the firework may launch, given its document
+	// and its parents' documents (which include outputs).
+	Ready(fw document.D, parents []document.D) bool
+	// Override returns a Mongo-style update document applied to the
+	// firework's stage just before launch (nil for no change). Applied
+	// overrides are recorded in the firework's spec_history.
+	Override(fw document.D, parents []document.D) document.D
+}
+
+// DefaultFuse launches as soon as all parents completed, with no
+// overrides.
+type DefaultFuse struct{}
+
+// Ready implements Fuse: parents' completion is checked by the launchpad
+// before fuses run, so the default fuse is always ready.
+func (DefaultFuse) Ready(document.D, []document.D) bool { return true }
+
+// Override implements Fuse.
+func (DefaultFuse) Override(document.D, []document.D) document.D { return nil }
+
+// ApprovalFuse delays launch until a human sets approved=true on the
+// firework ("a user has approved the workflow").
+type ApprovalFuse struct{}
+
+// Ready implements Fuse.
+func (ApprovalFuse) Ready(fw document.D, _ []document.D) bool {
+	v, _ := fw.Get("approved")
+	b, _ := v.(bool)
+	return b
+}
+
+// Override implements Fuse.
+func (ApprovalFuse) Override(document.D, []document.D) document.D { return nil }
+
+// Action is a follow-up decision from an Analyzer.
+type Action interface{ isAction() }
+
+// Rerun re-queues the same firework, optionally scaling its walltime and
+// applying a stage update — the fix for jobs "killed due to insufficient
+// walltime and memory".
+type Rerun struct {
+	WalltimeScale float64    // multiply walltime_s by this (0 = keep)
+	StageUpdate   document.D // Mongo-style update on the stage (may be nil)
+	Reason        string
+}
+
+func (Rerun) isAction() {}
+
+// Detour replaces the firework with a fresh one whose stage has "a few
+// minor input parameters changed"; the rest of the workflow is untouched
+// because the detour completes on the original's behalf.
+type Detour struct {
+	StageUpdate document.D // required: what to change
+	Reason      string
+}
+
+func (Detour) isAction() {}
+
+// AddFirework appends a new firework as a child of the analyzed one —
+// the iteration primitive.
+type AddFirework struct {
+	Firework Firework
+}
+
+func (AddFirework) isAction() {}
+
+// Defuse aborts the workflow and marks it for manual intervention ("if
+// the problem is beyond automated repair").
+type Defuse struct {
+	Reason string
+}
+
+func (Defuse) isAction() {}
+
+// Analyzer inspects a finished launch and decides what happens next.
+type Analyzer interface {
+	// Analyze receives the firework document and the task result document
+	// (nil when the job was killed before producing output). It returns
+	// follow-up actions; no actions means the outcome stands.
+	Analyze(fw document.D, result document.D) []Action
+}
+
+// RunOutcome is what an Assembler reports for one launch.
+type RunOutcome struct {
+	// Duration is the virtual compute time the job consumed.
+	Duration time.Duration
+	// Result is the reduced result document stored in tasks (nil allowed
+	// for failures that produced nothing).
+	Result document.D
+	// Failed marks outcomes the Analyzer should treat as job errors.
+	Failed bool
+	// FailureKind is a short machine-readable error class ("ZBRENT", ...).
+	FailureKind string
+}
+
+// Assembler turns a stage into execution: "translated into input files on
+// a compute node" in the paper; here, into a simulated run.
+type Assembler interface {
+	Assemble(stage document.D) (*RunOutcome, error)
+}
+
+// AssemblerFunc adapts a function to Assembler.
+type AssemblerFunc func(stage document.D) (*RunOutcome, error)
+
+// Assemble implements Assembler.
+func (f AssemblerFunc) Assemble(stage document.D) (*RunOutcome, error) { return f(stage) }

@@ -1,0 +1,140 @@
+package fireworks
+
+import (
+	"testing"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/dft"
+	"matproj/internal/document"
+	"matproj/internal/hpc"
+	"matproj/internal/icsd"
+)
+
+// TestFullPipelineOnCluster drives the real stack end to end: synthetic
+// ICSD records are loaded into the mps collection, VASP fireworks are
+// created for each, and task-farming batch jobs execute them on the
+// simulated cluster — exercising re-runs, detours, duplicate detection,
+// and walltime kills together.
+func TestFullPipelineOnCluster(t *testing.T) {
+	store := datastore.MustOpenMemory()
+	pad := NewLaunchPad(store, 5)
+	RegisterVASP(pad)
+	mps := store.C("mps")
+
+	recs := icsd.Generate(icsd.Config{Seed: 2012, DuplicateRate: 0.2}, 60)
+	var fws []Firework
+	for _, r := range recs {
+		mdoc := r.ToDoc()
+		if _, err := mps.Insert(mdoc); err != nil {
+			t.Fatal(err)
+		}
+		fw := NewVASPFirework(mdoc, "relax", dft.DefaultParams(), 6*time.Hour)
+		fw.ID = "fw-" + r.ID
+		fws = append(fws, fw)
+	}
+	if _, err := pad.AddWorkflow(fws); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster := hpc.NewCluster(16, 8, hpc.Policy{WorkerOutbound: false, ProxyHost: "mongoproxy"})
+	asm := NewVASPAssembler(store)
+	jobs, err := DriveCluster(pad, asm, cluster, "mpuser", 8, 24*time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs == 0 {
+		t.Fatal("no batch jobs submitted")
+	}
+
+	// Every firework must settle into a terminal state.
+	engines := store.C(EnginesCollection)
+	nonTerminal, _ := engines.Count(document.D{"state": document.D{"$in": []any{
+		string(StateWaiting), string(StateReady), string(StateRunning)}}})
+	if nonTerminal != 0 {
+		t.Fatalf("%d fireworks not terminal", nonTerminal)
+	}
+
+	completed, _ := engines.Count(document.D{"state": string(StateCompleted)})
+	if completed < 50 {
+		t.Errorf("completed = %d / %d+", completed, len(fws))
+	}
+
+	// Duplicate detection: the generator emitted ~20% redeterminations;
+	// their fireworks must complete via pointers, not new tasks.
+	dupFWs, _ := engines.Count(document.D{"output.duplicate_of": document.D{"$exists": true}})
+	if dupFWs == 0 {
+		t.Error("no duplicate-pointer completions despite redeterminations")
+	}
+	nTasks, _ := store.C(TasksCollection).Count(nil)
+	if nTasks >= len(fws) {
+		t.Errorf("tasks (%d) should be fewer than fireworks (%d) thanks to dedup", nTasks, len(fws))
+	}
+
+	// Detours should have fired for ZBRENT-prone structures (12% base
+	// rate at POTIM=0.5).
+	detours, _ := engines.Count(document.D{"detour_of": document.D{"$exists": true}})
+	if detours == 0 {
+		t.Error("no detours occurred; ZBRENT handling untested")
+	}
+
+	// Successful tasks carry reduced results, not raw output.
+	task, err := store.C(TasksCollection).FindOne(document.D{"state": "successful"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !task.Has("result.final_energy") {
+		t.Error("task missing reduced result")
+	}
+	if task.Has("result.outcar") {
+		t.Error("raw output leaked into the datastore")
+	}
+	if sz, ok := task.GetInt("result.raw_output_size"); !ok || sz < 500 {
+		t.Errorf("raw_output_size = %d (parse/reduce bookkeeping missing)", sz)
+	}
+
+	// The cluster actually killed something at walltime or completed all;
+	// either way virtual time advanced substantially.
+	if cluster.Now() < time.Hour {
+		t.Errorf("virtual makespan suspiciously small: %v", cluster.Now())
+	}
+}
+
+// TestWalltimeKillRerunsOnCluster forces tiny walltimes so kills and
+// re-runs happen, then verifies the work still finishes under a more
+// generous policy.
+func TestWalltimeKillRerunsOnCluster(t *testing.T) {
+	store := datastore.MustOpenMemory()
+	pad := NewLaunchPad(store, 8)
+	RegisterVASP(pad)
+	mps := store.C("mps")
+	recs := icsd.Generate(icsd.Config{Seed: 77, DuplicateRate: 0}, 10)
+	var fws []Firework
+	for _, r := range recs {
+		mdoc := r.ToDoc()
+		mps.Insert(mdoc)
+		fws = append(fws, NewVASPFirework(mdoc, "relax", dft.DefaultParams(), time.Hour))
+	}
+	if _, err := pad.AddWorkflow(fws); err != nil {
+		t.Fatal(err)
+	}
+	// Walltime so short that long runs get killed mid-task.
+	cluster := hpc.NewCluster(4, 0, hpc.Policy{})
+	if _, err := DriveCluster(pad, NewVASPAssembler(store), cluster, "u", 4, 30*time.Minute, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := cluster.Stats()
+	if st.TasksKilled == 0 {
+		t.Error("no walltime kills with 30-minute farms; test premise broken")
+	}
+	engines := store.C(EnginesCollection)
+	rerun, _ := engines.Count(document.D{"reruns": document.D{"$gte": 1}})
+	if rerun == 0 {
+		t.Error("no fireworks were re-run after kills")
+	}
+	nonTerminal, _ := engines.Count(document.D{"state": document.D{"$in": []any{
+		string(StateWaiting), string(StateReady), string(StateRunning)}}})
+	if nonTerminal != 0 {
+		t.Errorf("%d fireworks stuck", nonTerminal)
+	}
+}

@@ -1,0 +1,485 @@
+package fireworks
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func doc(s string) document.D { return document.MustFromJSON(s) }
+
+func newPad(t *testing.T) *LaunchPad {
+	t.Helper()
+	return NewLaunchPad(datastore.MustOpenMemory(), 3)
+}
+
+// scriptedAssembler returns canned outcomes keyed by stage "job" field.
+type scriptedAssembler map[string]*RunOutcome
+
+func (s scriptedAssembler) Assemble(stage document.D) (*RunOutcome, error) {
+	key := stage.GetString("job")
+	out, ok := s[key]
+	if !ok {
+		return &RunOutcome{Duration: time.Minute, Result: document.D{"final_energy": -1.0, "converged": true}}, nil
+	}
+	return out, nil
+}
+
+func TestAddWorkflowAndStates(t *testing.T) {
+	pad := newPad(t)
+	wfID, err := pad.AddWorkflow([]Firework{
+		{ID: "a", Stage: doc(`{"job": "a"}`)},
+		{ID: "b", Stage: doc(`{"job": "b"}`), Parents: []string{"a"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := pad.WorkflowStates(wfID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[StateReady] != 1 || states[StateWaiting] != 1 {
+		t.Errorf("states = %v", states)
+	}
+}
+
+func TestAddWorkflowValidation(t *testing.T) {
+	pad := newPad(t)
+	if _, err := pad.AddWorkflow(nil); err == nil {
+		t.Error("empty workflow accepted")
+	}
+	if _, err := pad.AddWorkflow([]Firework{{ID: "x"}, {ID: "x"}}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	if _, err := pad.AddWorkflow([]Firework{{ID: "a", Parents: []string{"ghost"}}}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if _, err := pad.AddWorkflow([]Firework{{ID: "a", Fuse: "nope"}}); err == nil {
+		t.Error("unknown fuse accepted")
+	}
+	if _, err := pad.AddWorkflow([]Firework{{ID: "a", Analyzer: "nope"}}); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+}
+
+func TestClaimPriorityOrderAndSelector(t *testing.T) {
+	pad := newPad(t)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "low", Stage: doc(`{"job": "low", "nelectrons": 50}`), Priority: 1},
+		{ID: "high", Stage: doc(`{"job": "high", "nelectrons": 500}`), Priority: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selector excludes the high-priority firework (too many electrons),
+	// mirroring the paper's job-to-resource matching query.
+	cl, err := pad.Claim("w1", doc(`{"stage.nelectrons": {"$lte": 200}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.FWID != "low" {
+		t.Errorf("claimed %s", cl.FWID)
+	}
+	// Unfiltered claim takes priority order.
+	cl2, err := pad.Claim("w2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.FWID != "high" {
+		t.Errorf("claimed %s", cl2.FWID)
+	}
+	if _, err := pad.Claim("w3", nil); !errors.Is(err, ErrNoneReady) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDependencyChainUnblocks(t *testing.T) {
+	pad := newPad(t)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "parent", Stage: doc(`{"job": "p"}`)},
+		{ID: "child", Stage: doc(`{"job": "c"}`), Parents: []string{"parent"}},
+		{ID: "grandchild", Stage: doc(`{"job": "g"}`), Parents: []string{"child"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := scriptedAssembler{}
+	r := &Rocket{Pad: pad, Assembler: asm, WorkerID: "w"}
+	n, err := r.RunLocal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("launches = %d", n)
+	}
+	for _, id := range []string{"parent", "child", "grandchild"} {
+		fw, _ := pad.Firework(id)
+		if State(fw.GetString("state")) != StateCompleted {
+			t.Errorf("%s state = %s", id, fw.GetString("state"))
+		}
+	}
+	// Outputs recorded for control logic.
+	fw, _ := pad.Firework("parent")
+	if v, ok := fw.GetFloat("output.final_energy"); !ok || v != -1.0 {
+		t.Errorf("output.final_energy = %v ok=%v", v, ok)
+	}
+}
+
+func TestDuplicateDetectionViaBinder(t *testing.T) {
+	pad := newPad(t)
+	binder := &Binder{Fields: []string{"mps_id", "functional"}}
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "first", Stage: doc(`{"job": "a", "mps_id": "mps-1", "functional": "GGA"}`), Binder: binder},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Rocket{Pad: pad, Assembler: scriptedAssembler{}, WorkerID: "w"}
+	if _, err := r.RunLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	// Resubmit "the same thing": a different user submits an identical job.
+	_, err = pad.AddWorkflow([]Firework{
+		{ID: "second", Stage: doc(`{"job": "b", "mps_id": "mps-1", "functional": "GGA"}`), Binder: binder},
+		{ID: "third", Stage: doc(`{"job": "c", "mps_id": "mps-1", "functional": "GGA+U"}`), Binder: binder},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.RunLocal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only "third" (different functional) actually runs.
+	if n != 1 {
+		t.Errorf("launches = %d, want 1", n)
+	}
+	second, _ := pad.Firework("second")
+	if State(second.GetString("state")) != StateCompleted {
+		t.Errorf("second state = %s", second.GetString("state"))
+	}
+	if second.GetString("output.duplicate_of") == "" {
+		t.Error("second lacks duplicate pointer")
+	}
+	// The tasks collection holds exactly two real runs.
+	nTasks, _ := pad.Store().C(TasksCollection).Count(nil)
+	if nTasks != 2 {
+		t.Errorf("tasks = %d, want 2", nTasks)
+	}
+}
+
+func TestWalltimeRerunDoublesWalltime(t *testing.T) {
+	pad := newPad(t)
+	RegisterVASP(pad)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "fw", Stage: doc(`{"job": "x", "walltime_s": 3600}`), Analyzer: "vasp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := pad.Claim("w", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pad.Killed(cl, FailWalltime); err != nil {
+		t.Fatal(err)
+	}
+	fw, _ := pad.Firework("fw")
+	if State(fw.GetString("state")) != StateReady {
+		t.Errorf("state = %s, want READY (rerun)", fw.GetString("state"))
+	}
+	if w, _ := fw.GetFloat("stage.walltime_s"); w != 7200 {
+		t.Errorf("walltime = %v, want 7200", w)
+	}
+	if n, _ := fw.GetInt("reruns"); n != 1 {
+		t.Errorf("reruns = %d", n)
+	}
+	hist := fw.GetArray("spec_history")
+	if len(hist) == 0 {
+		t.Error("spec_history empty after rerun")
+	}
+}
+
+func TestRerunLimitDefuses(t *testing.T) {
+	pad := NewLaunchPad(datastore.MustOpenMemory(), 2)
+	RegisterVASP(pad)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "doomed", Stage: doc(`{"job": "x", "walltime_s": 100}`), Analyzer: "vasp"},
+		{ID: "dependent", Stage: doc(`{"job": "y"}`), Parents: []string{"doomed"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cl, err := pad.Claim("w", nil)
+		if err != nil {
+			t.Fatalf("claim %d: %v", i, err)
+		}
+		if err := pad.Killed(cl, FailWalltime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw, _ := pad.Firework("doomed")
+	if State(fw.GetString("state")) != StateDefused {
+		t.Errorf("state = %s, want DEFUSED", fw.GetString("state"))
+	}
+	// The whole workflow is aborted for manual intervention.
+	dep, _ := pad.Firework("dependent")
+	if State(dep.GetString("state")) != StateDefused {
+		t.Errorf("dependent state = %s, want DEFUSED", dep.GetString("state"))
+	}
+}
+
+func TestDetourReplacesAndCompletesOriginal(t *testing.T) {
+	pad := newPad(t)
+	RegisterVASP(pad)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "orig", Stage: doc(`{"job": "zbrent", "params": {"potim": 0.5}}`), Analyzer: "vasp"},
+		{ID: "child", Stage: doc(`{"job": "after"}`), Parents: []string{"orig"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := scriptedAssembler{
+		"zbrent": {Duration: time.Minute, Failed: true, FailureKind: "ZBRENT",
+			Result: document.D{"converged": false}},
+	}
+	r := &Rocket{Pad: pad, Assembler: asm, WorkerID: "w"}
+	// First launch fails with ZBRENT → detour created; the detour's stage
+	// has potim lowered, so the scripted assembler's default (success)
+	// applies on the next claim... but "job" is still "zbrent". Script the
+	// detour by checking potim instead.
+	asm2 := AssemblerFunc(func(stage document.D) (*RunOutcome, error) {
+		if p, _ := stage.GetFloat("params.potim"); p > 0.3 && stage.GetString("job") == "zbrent" {
+			return &RunOutcome{Duration: time.Minute, Failed: true, FailureKind: "ZBRENT",
+				Result: document.D{"converged": false}}, nil
+		}
+		return &RunOutcome{Duration: time.Minute, Result: document.D{"final_energy": -2.0, "converged": true}}, nil
+	})
+	r.Assembler = asm2
+	if _, err := r.RunLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := pad.Firework("orig")
+	if State(orig.GetString("state")) != StateCompleted {
+		t.Errorf("orig state = %s", orig.GetString("state"))
+	}
+	if orig.GetString("superseded_by") == "" {
+		t.Error("orig not linked to detour")
+	}
+	if orig.GetString("output.detoured_to") == "" {
+		t.Error("orig output lacks detour pointer")
+	}
+	child, _ := pad.Firework("child")
+	if State(child.GetString("state")) != StateCompleted {
+		t.Errorf("child state = %s (detour completion should unblock it)", child.GetString("state"))
+	}
+	// The detour firework has the modified parameter.
+	detourID := orig.GetString("superseded_by")
+	det, _ := pad.Firework(detourID)
+	if p, _ := det.GetFloat("stage.params.potim"); p != 0.25 {
+		t.Errorf("detour potim = %v", p)
+	}
+	if det.GetString("detour_of") != "orig" {
+		t.Error("detour_of missing")
+	}
+}
+
+func TestNonConvergenceIterationEscalatesNELM(t *testing.T) {
+	pad := newPad(t)
+	RegisterVASP(pad)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "hard", Stage: doc(`{"job": "h", "params": {"nelm": 60, "algo": "Fast"}}`), Analyzer: "vasp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	asm := AssemblerFunc(func(stage document.D) (*RunOutcome, error) {
+		attempts++
+		nelm, _ := stage.GetInt("params.nelm")
+		if nelm < 240 {
+			return &RunOutcome{Duration: time.Minute, Failed: true, FailureKind: "NONCONV",
+				Result: document.D{"converged": false}}, nil
+		}
+		return &RunOutcome{Duration: time.Minute, Result: document.D{"final_energy": -3.0, "converged": true}}, nil
+	})
+	r := &Rocket{Pad: pad, Assembler: asm, WorkerID: "w"}
+	if _, err := r.RunLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	fw, _ := pad.Firework("hard")
+	if State(fw.GetString("state")) != StateCompleted {
+		t.Fatalf("state = %s", fw.GetString("state"))
+	}
+	if attempts != 3 { // 60 → 120 → 240
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if nelm, _ := fw.GetInt("stage.params.nelm"); nelm != 240 {
+		t.Errorf("final nelm = %d", nelm)
+	}
+	if algo := fw.GetString("stage.params.algo"); algo != "Normal" {
+		t.Errorf("algo = %s", algo)
+	}
+}
+
+func TestApprovalFuseDelaysLaunch(t *testing.T) {
+	pad := newPad(t)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "gated", Stage: doc(`{"job": "g"}`), Fuse: "approval"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pad.Claim("w", nil); !errors.Is(err, ErrNoneReady) {
+		t.Fatalf("unapproved firework claimable: %v", err)
+	}
+	if err := pad.Approve("gated"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := pad.Claim("w", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.FWID != "gated" {
+		t.Errorf("claimed %s", cl.FWID)
+	}
+}
+
+// carryEnergyFuse copies the parent's final energy into the stage — the
+// paper's example of a Fuse "overriding input parameters prior to
+// execution, based on the output state of any parent jobs".
+type carryEnergyFuse struct{}
+
+func (carryEnergyFuse) Ready(document.D, []document.D) bool { return true }
+func (carryEnergyFuse) Override(_ document.D, parents []document.D) document.D {
+	if len(parents) == 0 {
+		return nil
+	}
+	e, ok := parents[0].GetFloat("output.final_energy")
+	if !ok {
+		return nil
+	}
+	return document.D{"$set": document.D{"parent_energy": e}}
+}
+
+func TestFuseOverrideRecordedInSpecHistory(t *testing.T) {
+	pad := newPad(t)
+	pad.RegisterFuse("carry", carryEnergyFuse{})
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "p", Stage: doc(`{"job": "p"}`)},
+		{ID: "c", Stage: doc(`{"job": "c"}`), Parents: []string{"p"}, Fuse: "carry"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Rocket{Pad: pad, Assembler: scriptedAssembler{}, WorkerID: "w"}
+	if _, err := r.RunLocal(1); err != nil { // run parent only
+		t.Fatal(err)
+	}
+	cl, err := pad.Claim("w", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cl.Stage.GetFloat("parent_energy"); !ok || v != -1.0 {
+		t.Errorf("override not applied: %v ok=%v", v, ok)
+	}
+	fw, _ := pad.Firework("c")
+	hist := fw.GetArray("spec_history")
+	if len(hist) != 1 {
+		t.Fatalf("spec_history = %v", hist)
+	}
+	entry := document.D(hist[0].(map[string]any))
+	if entry.GetString("why") != "fuse override" {
+		t.Errorf("why = %s", entry.GetString("why"))
+	}
+}
+
+func TestKPointConvergenceIteration(t *testing.T) {
+	pad := newPad(t)
+	RegisterVASP(pad)
+	_, err := pad.AddWorkflow([]Firework{{
+		ID:       "k0",
+		Stage:    doc(`{"job": "k", "mps_id": "m-1", "params": {"kmesh": [2, 2, 2]}}`),
+		Analyzer: "vasp+kconv",
+		Binder:   &Binder{Fields: []string{"mps_id", "params.kmesh"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy per atom converges as mesh densifies: -1 - 1/k.
+	asm := AssemblerFunc(func(stage document.D) (*RunOutcome, error) {
+		mesh := stage.GetArray("params.kmesh")
+		k, _ := document.AsFloat(mesh[0])
+		e := -1 - 1/(k*k)
+		return &RunOutcome{Duration: time.Minute,
+			Result: document.D{"energy_per_atom": e, "final_energy": e, "converged": true}}, nil
+	})
+	r := &Rocket{Pad: pad, Assembler: asm, WorkerID: "w"}
+	n, err := r.RunLocal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2 (e=-1.25), k=4 (-1.0625, Δ=0.19), k=6 (-1.028, Δ=0.035),
+	// k=8 (-1.0156, Δ=0.012), k=10 (-1.01, Δ=0.006 < 0.01 tol) → 5 runs.
+	if n != 5 {
+		t.Errorf("iterations = %d, want 5", n)
+	}
+	// All fireworks completed; the deepest iteration has kmesh 10.
+	last, err := pad.Store().C(EnginesCollection).FindOne(nil, &datastore.FindOpts{Sort: []string{"-stage.iteration"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := last.GetArray("stage.params.kmesh")
+	if k, _ := document.AsFloat(mesh[0]); k != 10 {
+		t.Errorf("final kmesh = %v", k)
+	}
+	if it, _ := last.GetInt("stage.iteration"); it != 4 {
+		t.Errorf("iteration counter = %d", it)
+	}
+}
+
+func TestUnhandledFailureDefusesWithoutAnalyzer(t *testing.T) {
+	pad := newPad(t)
+	_, err := pad.AddWorkflow([]Firework{
+		{ID: "f", Stage: doc(`{"job": "bad"}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := scriptedAssembler{"bad": {Duration: time.Second, Failed: true, FailureKind: "MYSTERY"}}
+	r := &Rocket{Pad: pad, Assembler: asm, WorkerID: "w"}
+	if _, err := r.RunLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	fw, _ := pad.Firework("f")
+	if State(fw.GetString("state")) != StateDefused {
+		t.Errorf("state = %s", fw.GetString("state"))
+	}
+	if fw.GetString("defuse_reason") == "" {
+		t.Error("defuse_reason empty")
+	}
+}
+
+func TestBinderKey(t *testing.T) {
+	b := &Binder{Fields: []string{"mps_id", "params.functional"}}
+	k1 := b.Key(doc(`{"mps_id": "m-1", "params": {"functional": "GGA"}}`))
+	k2 := b.Key(doc(`{"mps_id": "m-1", "params": {"functional": "GGA"}, "other": 5}`))
+	k3 := b.Key(doc(`{"mps_id": "m-1", "params": {"functional": "GGA+U"}}`))
+	if k1 != k2 {
+		t.Error("irrelevant fields changed key")
+	}
+	if k1 == k3 {
+		t.Error("functional did not change key")
+	}
+	if (&Binder{}).Key(doc(`{}`)) != "" {
+		t.Error("empty binder key not empty")
+	}
+	kMissing := b.Key(doc(`{}`))
+	if kMissing != "null|null" {
+		t.Errorf("missing fields key = %q", kMissing)
+	}
+}

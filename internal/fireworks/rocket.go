@@ -1,0 +1,153 @@
+package fireworks
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"matproj/internal/document"
+	"matproj/internal/hpc"
+)
+
+// Rocket pulls ready fireworks from a launchpad and executes them — the
+// worker process that runs inside a batch job. Combined with the hpc
+// simulator it implements task farming: one batch job consuming many
+// fireworks back to back (§IV-A1).
+type Rocket struct {
+	Pad       *LaunchPad
+	Assembler Assembler
+	WorkerID  string
+	// Selector optionally restricts which fireworks this worker claims
+	// (resource matching on stage attributes, e.g.
+	// {"stage.nelectrons": {"$lte": 200}}).
+	Selector document.D
+	// MaxClaims bounds how many fireworks this rocket executes; 0 means
+	// unlimited. MaxClaims=1 models the one-calculation-per-batch-job
+	// mode that task farming replaces (§IV-A1).
+	MaxClaims int
+	claims    int
+}
+
+// TaskSource adapts the rocket to the cluster simulator: each claimed
+// firework becomes one task whose virtual duration is the simulated run
+// time. A walltime kill mid-task reports the firework as killed, which
+// the analyzer typically answers with a Rerun at doubled walltime.
+func (r *Rocket) TaskSource() hpc.TaskSource {
+	return hpc.FuncSource(func(now time.Duration) (hpc.Task, bool) {
+		for {
+			if r.MaxClaims > 0 && r.claims >= r.MaxClaims {
+				return hpc.Task{}, false
+			}
+			cl, err := r.Pad.Claim(r.WorkerID, r.Selector)
+			if errors.Is(err, ErrNoneReady) {
+				return hpc.Task{}, false
+			}
+			if err != nil {
+				return hpc.Task{}, false
+			}
+			r.claims++
+			outcome, err := r.Assembler.Assemble(cl.Stage)
+			if err != nil {
+				// Assembly failures are not physics failures; record and
+				// move on to the next firework.
+				_ = r.Pad.Complete(cl, &RunOutcome{
+					Failed:      true,
+					FailureKind: "ASSEMBLY:" + err.Error(),
+				})
+				continue
+			}
+			claimed := cl
+			oc := outcome
+			return hpc.Task{
+				Name:     claimed.FWID,
+				Duration: oc.Duration,
+				OnDone:   func(time.Duration) { _ = r.Pad.Complete(claimed, oc) },
+				OnKilled: func(time.Duration) { _ = r.Pad.Killed(claimed, FailWalltime) },
+			}, true
+		}
+	})
+}
+
+// RunLocal executes fireworks synchronously without a cluster (no
+// walltime enforcement), up to maxLaunches (0 = unlimited). It returns
+// the number of launches performed. Used for tests, examples, and
+// midrange-resource execution.
+func (r *Rocket) RunLocal(maxLaunches int) (int, error) {
+	launches := 0
+	for maxLaunches == 0 || launches < maxLaunches {
+		cl, err := r.Pad.Claim(r.WorkerID, r.Selector)
+		if errors.Is(err, ErrNoneReady) {
+			return launches, nil
+		}
+		if err != nil {
+			return launches, err
+		}
+		outcome, err := r.Assembler.Assemble(cl.Stage)
+		if err != nil {
+			if cerr := r.Pad.Complete(cl, &RunOutcome{Failed: true, FailureKind: "ASSEMBLY:" + err.Error()}); cerr != nil {
+				return launches, cerr
+			}
+			launches++
+			continue
+		}
+		if err := r.Pad.Complete(cl, outcome); err != nil {
+			return launches, err
+		}
+		launches++
+	}
+	return launches, nil
+}
+
+// DriveCluster repeatedly submits task-farming worker jobs to the cluster
+// until no fireworks remain claimable, returning total batch jobs
+// submitted. Each job farms fireworks for jobWalltime; kills re-queue
+// work which later jobs pick up. Because "jobs are often killed due to
+// insufficient walltime ... and restarted, with more resources"
+// (§III-C3), each resubmission round doubles the requested walltime (up
+// to 32×), so calculations that outlive the initial allocation still
+// complete. This is the production execution mode.
+func DriveCluster(pad *LaunchPad, asm Assembler, cluster *hpc.Cluster, user string, workers int, jobWalltime time.Duration, selector document.D) (int, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := 0
+	for round := 0; ; round++ {
+		if pad.ReadyCount() == 0 {
+			break
+		}
+		wall := jobWalltime
+		if round > 0 {
+			scale := round
+			if scale > 5 {
+				scale = 5
+			}
+			wall = jobWalltime * time.Duration(1<<scale)
+		}
+		for w := 0; w < workers; w++ {
+			rocket := &Rocket{
+				Pad:       pad,
+				Assembler: asm,
+				WorkerID:  fmt.Sprintf("%s-r%d-w%d", user, round, w),
+				Selector:  selector,
+			}
+			job := &hpc.Job{
+				ID:       fmt.Sprintf("farm-%s-%d-%d", user, round, w),
+				User:     user,
+				Walltime: wall,
+				Source:   rocket.TaskSource(),
+			}
+			if err := cluster.Submit(job); err != nil {
+				if errors.Is(err, hpc.ErrQueueLimit) {
+					break
+				}
+				return jobs, err
+			}
+			jobs++
+		}
+		cluster.RunAll()
+		if round > 10000 {
+			return jobs, fmt.Errorf("fireworks: drive did not quiesce")
+		}
+	}
+	return jobs, nil
+}

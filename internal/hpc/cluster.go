@@ -1,0 +1,317 @@
+// Package hpc simulates the HPC environment the Materials Project ran on
+// (NERSC-class): a cluster of worker nodes fronted by a batch queue with
+// per-user queued-job limits, walltime enforcement that kills overrunning
+// jobs, and the site policy that worker nodes cannot open outbound
+// connections (so datastore traffic must flow through a proxy) — the
+// §IV-A challenges.
+//
+// Time is virtual: the simulator is a discrete-event engine driven by a
+// minute-resolution free clock, so "days" of VASP runtime execute in
+// microseconds of real time. Task farming — one batch job executing many
+// calculations back to back — falls out of the TaskSource abstraction and
+// is the subject of the §IV-A1 ablation bench.
+package hpc
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrQueueLimit is returned by Submit when the user already has the
+// maximum number of jobs queued or running ("most HPC systems allow only
+// a handful of queued jobs per user").
+var ErrQueueLimit = errors.New("hpc: per-user queue limit reached")
+
+// Task is one unit of work executed inside a batch job.
+type Task struct {
+	Name     string
+	Duration time.Duration
+	// OnDone fires when the task completes, with the virtual time.
+	OnDone func(now time.Duration)
+	// OnKilled fires when the job's walltime expires mid-task.
+	OnKilled func(now time.Duration)
+}
+
+// TaskSource supplies a job's tasks one at a time. Next is called when
+// the previous task finishes; returning ok=false ends the job. Sources
+// may produce tasks dynamically (task farming pulls the next calculation
+// from the datastore at runtime).
+type TaskSource interface {
+	Next(now time.Duration) (Task, bool)
+}
+
+// SliceSource is a TaskSource over a fixed task list.
+type SliceSource struct {
+	Tasks []Task
+	pos   int
+}
+
+// Next implements TaskSource.
+func (s *SliceSource) Next(time.Duration) (Task, bool) {
+	if s.pos >= len(s.Tasks) {
+		return Task{}, false
+	}
+	t := s.Tasks[s.pos]
+	s.pos++
+	return t, true
+}
+
+// FuncSource adapts a function to TaskSource.
+type FuncSource func(now time.Duration) (Task, bool)
+
+// Next implements TaskSource.
+func (f FuncSource) Next(now time.Duration) (Task, bool) { return f(now) }
+
+// Job is a batch submission: a walltime allocation during which its
+// TaskSource's tasks run sequentially on one node.
+type Job struct {
+	ID       string
+	User     string
+	Walltime time.Duration
+	Source   TaskSource
+	// OnEnd fires when the job leaves the system (completed or killed).
+	OnEnd func(now time.Duration, killed bool)
+}
+
+// JobState tracks a job through the queue.
+type JobState int
+
+const (
+	// JobQueued means waiting for a node.
+	JobQueued JobState = iota
+	// JobRunning means executing on a node.
+	JobRunning
+	// JobCompleted means all tasks finished within walltime.
+	JobCompleted
+	// JobKilled means the walltime expired.
+	JobKilled
+)
+
+// Stats aggregates cluster activity.
+type Stats struct {
+	JobsCompleted int
+	JobsKilled    int
+	TasksDone     int
+	TasksKilled   int
+	// BusyTime is summed node-seconds of execution.
+	BusyTime time.Duration
+	// Makespan is the virtual time of the last processed event.
+	Makespan time.Duration
+}
+
+// Policy captures site connectivity rules (§IV-A2): worker nodes may not
+// connect outside the system, so datastore access goes through a proxy on
+// a login/midrange node.
+type Policy struct {
+	// WorkerOutbound reports whether compute nodes may open outbound
+	// connections. False at NERSC-like sites.
+	WorkerOutbound bool
+	// ProxyHost is the host workers must relay through when
+	// WorkerOutbound is false.
+	ProxyHost string
+}
+
+// Cluster is the simulated machine.
+type Cluster struct {
+	nodes      int
+	queueLimit int
+	policy     Policy
+
+	clock     time.Duration
+	freeNodes int
+	queue     []*runningJob
+	perUser   map[string]int
+	events    eventHeap
+	seq       int
+	stats     Stats
+}
+
+type runningJob struct {
+	job      *Job
+	started  time.Duration
+	deadline time.Duration
+	state    JobState
+}
+
+type event struct {
+	at   time.Duration
+	seq  int // FIFO tiebreak
+	kind eventKind
+	rj   *runningJob
+	task Task
+}
+
+type eventKind int
+
+const (
+	evTaskDone eventKind = iota
+	evWalltime
+)
+
+// NewCluster creates a cluster with the given node count and per-user
+// queue limit (queued + running). A limit <= 0 means unlimited — the
+// "advanced reservation" mode NERSC granted the project.
+func NewCluster(nodes, queueLimit int, policy Policy) *Cluster {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Cluster{
+		nodes:      nodes,
+		queueLimit: queueLimit,
+		policy:     policy,
+		freeNodes:  nodes,
+		perUser:    make(map[string]int),
+	}
+}
+
+// Policy returns the site connectivity policy.
+func (c *Cluster) Policy() Policy { return c.policy }
+
+// Now returns the virtual clock.
+func (c *Cluster) Now() time.Duration { return c.clock }
+
+// Stats returns a snapshot of activity counters.
+func (c *Cluster) Stats() Stats {
+	s := c.stats
+	s.Makespan = c.clock
+	return s
+}
+
+// QueueLimit returns the current per-user limit (<=0 means unlimited).
+func (c *Cluster) QueueLimit() int { return c.queueLimit }
+
+// SetQueueLimit adjusts the per-user limit, modelling an advanced
+// reservation that "temporarily suspended these limits".
+func (c *Cluster) SetQueueLimit(n int) { c.queueLimit = n }
+
+// QueuedOrRunning reports the user's jobs currently in the system.
+func (c *Cluster) QueuedOrRunning(user string) int { return c.perUser[user] }
+
+// Submit enqueues a job, enforcing the per-user limit.
+func (c *Cluster) Submit(job *Job) error {
+	if job == nil || job.Source == nil {
+		return fmt.Errorf("hpc: job must have a task source")
+	}
+	if job.Walltime <= 0 {
+		return fmt.Errorf("hpc: job %q needs a positive walltime", job.ID)
+	}
+	if c.queueLimit > 0 && c.perUser[job.User] >= c.queueLimit {
+		return fmt.Errorf("%w: user %q has %d jobs", ErrQueueLimit, job.User, c.perUser[job.User])
+	}
+	rj := &runningJob{job: job, state: JobQueued}
+	c.perUser[job.User]++
+	c.queue = append(c.queue, rj)
+	c.dispatch()
+	return nil
+}
+
+// dispatch starts queued jobs on free nodes (FIFO).
+func (c *Cluster) dispatch() {
+	for c.freeNodes > 0 && len(c.queue) > 0 {
+		rj := c.queue[0]
+		c.queue = c.queue[1:]
+		c.freeNodes--
+		rj.state = JobRunning
+		rj.started = c.clock
+		rj.deadline = c.clock + rj.job.Walltime
+		c.startNextTask(rj)
+	}
+}
+
+// startNextTask pulls the next task for a running job and schedules its
+// completion or the walltime kill, whichever comes first.
+func (c *Cluster) startNextTask(rj *runningJob) {
+	task, ok := rj.job.Source.Next(c.clock)
+	if !ok {
+		c.finishJob(rj, false)
+		return
+	}
+	if task.Duration < 0 {
+		task.Duration = 0
+	}
+	end := c.clock + task.Duration
+	if end > rj.deadline {
+		// The task will be cut down by the walltime kill.
+		c.push(event{at: rj.deadline, kind: evWalltime, rj: rj, task: task})
+		return
+	}
+	c.push(event{at: end, kind: evTaskDone, rj: rj, task: task})
+}
+
+func (c *Cluster) finishJob(rj *runningJob, killed bool) {
+	if killed {
+		rj.state = JobKilled
+		c.stats.JobsKilled++
+	} else {
+		rj.state = JobCompleted
+		c.stats.JobsCompleted++
+	}
+	c.stats.BusyTime += c.clock - rj.started
+	c.perUser[rj.job.User]--
+	c.freeNodes++
+	if rj.job.OnEnd != nil {
+		rj.job.OnEnd(c.clock, killed)
+	}
+	c.dispatch()
+}
+
+func (c *Cluster) push(e event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.events, e)
+}
+
+// Step processes one event, returning false when the system is idle.
+func (c *Cluster) Step() bool {
+	if c.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.events).(event)
+	c.clock = e.at
+	switch e.kind {
+	case evTaskDone:
+		c.stats.TasksDone++
+		if e.task.OnDone != nil {
+			e.task.OnDone(c.clock)
+		}
+		c.startNextTask(e.rj)
+	case evWalltime:
+		c.stats.TasksKilled++
+		if e.task.OnKilled != nil {
+			e.task.OnKilled(c.clock)
+		}
+		c.finishJob(e.rj, true)
+	}
+	return true
+}
+
+// RunAll processes events until the cluster is idle.
+func (c *Cluster) RunAll() {
+	for c.Step() {
+	}
+}
+
+// Idle reports whether no events are pending and no jobs are queued.
+func (c *Cluster) Idle() bool { return c.events.Len() == 0 && len(c.queue) == 0 }
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

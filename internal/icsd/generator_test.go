@@ -1,0 +1,174 @@
+package icsd
+
+import (
+	"testing"
+
+	"matproj/internal/crystal"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7}, 50)
+	b := Generate(Config{Seed: 7}, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("wrong count")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("id mismatch at %d", i)
+		}
+		if a[i].Structure.Composition().Formula() != b[i].Structure.Composition().Formula() {
+			t.Fatalf("formula mismatch at %d", i)
+		}
+	}
+	// Different seed differs somewhere.
+	c := Generate(Config{Seed: 8}, 50)
+	same := true
+	for i := range a {
+		if a[i].Structure.Composition().Formula() != c[i].Structure.Composition().Formula() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed has no effect")
+	}
+}
+
+func TestGeneratedRecordsAreValid(t *testing.T) {
+	for _, rec := range Generate(Config{Seed: 1}, 200) {
+		if err := rec.Structure.Validate(); err != nil {
+			t.Fatalf("%s: %v", rec.ID, err)
+		}
+		if rec.Source != "icsd" || rec.SourceID == "" || rec.ID == "" {
+			t.Errorf("%s: bad provenance %+v", rec.ID, rec)
+		}
+		if rec.Structure.MinDistance() < 1.0 {
+			t.Errorf("%s (%s): atoms too close: %.2f Å", rec.ID,
+				rec.Structure.Composition().Formula(), rec.Structure.MinDistance())
+		}
+		// Round trip through the document form must survive.
+		back, err := crystal.MPSFromDoc(rec.ToDoc())
+		if err != nil {
+			t.Fatalf("%s: %v", rec.ID, err)
+		}
+		if back.ID != rec.ID {
+			t.Errorf("round trip id changed")
+		}
+	}
+}
+
+func TestDuplicateRate(t *testing.T) {
+	recs := Generate(Config{Seed: 3, DuplicateRate: 0.3}, 500)
+	dups := 0
+	for _, r := range recs {
+		for _, tag := range r.Tags {
+			if tag == "redetermination" {
+				dups++
+				break
+			}
+		}
+	}
+	if dups < 100 || dups > 220 {
+		t.Errorf("duplicates = %d out of 500, want ~150", dups)
+	}
+	// Zero rate yields none.
+	for _, r := range Generate(Config{Seed: 3, DuplicateRate: 0}, 200) {
+		for _, tag := range r.Tags {
+			if tag == "redetermination" {
+				t.Fatal("duplicate at rate 0")
+			}
+		}
+	}
+	// Negative rate selects the default.
+	recsDefault := Generate(Config{Seed: 3, DuplicateRate: -1}, 300)
+	dupsDefault := 0
+	for _, r := range recsDefault {
+		for _, tag := range r.Tags {
+			if tag == "redetermination" {
+				dupsDefault++
+				break
+			}
+		}
+	}
+	if dupsDefault == 0 {
+		t.Error("default duplicate rate produced none")
+	}
+}
+
+func TestDuplicatesShareStructureNewSourceID(t *testing.T) {
+	recs := Generate(Config{Seed: 11, DuplicateRate: 0.5}, 200)
+	byFormula := make(map[string][]*crystalRecord)
+	for _, r := range recs {
+		f := r.Structure.Composition().Formula()
+		byFormula[f] = append(byFormula[f], &crystalRecord{r.ID, r.SourceID})
+	}
+	foundGroup := false
+	for _, group := range byFormula {
+		if len(group) < 2 {
+			continue
+		}
+		foundGroup = true
+		seenIDs := map[string]bool{}
+		seenSrc := map[string]bool{}
+		for _, r := range group {
+			if seenIDs[r.id] {
+				t.Error("duplicate MPS id")
+			}
+			if seenSrc[r.src] {
+				t.Error("duplicate source id")
+			}
+			seenIDs[r.id] = true
+			seenSrc[r.src] = true
+		}
+	}
+	if !foundGroup {
+		t.Error("no duplicate groups generated at rate 0.5")
+	}
+}
+
+type crystalRecord struct{ id, src string }
+
+func TestChargeBalanceScreen(t *testing.T) {
+	recs := Generate(Config{Seed: 5, RequireChargeBalance: true, DuplicateRate: 0}, 100)
+	for _, r := range recs {
+		if !r.Structure.Composition().ChargeBalanced() {
+			t.Errorf("%s (%s) not charge balanced", r.ID, r.Structure.Composition().Formula())
+		}
+	}
+}
+
+func TestGenerateBatteryFrameworks(t *testing.T) {
+	recs := GenerateBatteryFrameworks(42, 80)
+	if len(recs) != 80 {
+		t.Fatalf("got %d", len(recs))
+	}
+	for _, r := range recs {
+		comp := r.Structure.Composition()
+		if !comp.Contains("Li") && !comp.Contains("Na") {
+			t.Errorf("%s lacks working ion: %s", r.ID, comp.Formula())
+		}
+		ok := false
+		for _, tag := range r.Tags {
+			if tag == "olivine" || tag == "layered" || tag == "spinel" {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s not a framework prototype: %v", r.ID, r.Tags)
+		}
+	}
+}
+
+func TestIDsAreSequentialAndUnique(t *testing.T) {
+	recs := Generate(Config{Seed: 2, DuplicateRate: 0.2}, 100)
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("dup id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if recs[0].ID != crystal.NewMPSID(1) {
+		t.Errorf("first id = %s", recs[0].ID)
+	}
+}

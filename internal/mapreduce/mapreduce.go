@@ -1,0 +1,203 @@
+// Package mapreduce implements a parallel MapReduce engine over document
+// collections — the in-process stand-in for the Hadoop side of the
+// paper's §IV-B2 comparison, where a parallel framework is "several times
+// faster" than MongoDB's built-in single-threaded MapReduce.
+//
+// The engine splits the input across M map workers, applies a combiner
+// (the reduce function on map-local partial groups, valid because reduce
+// must be associative), shuffles by key hash into R reduce partitions,
+// reduces in parallel, and merges results sorted by key. The paper also
+// notes (§IV-C2) that MapReduce "is a logical language in which to write
+// the V&V of a database"; the builder package layers its validation
+// framework on this engine.
+package mapreduce
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// MapFunc and ReduceFunc mirror the datastore's built-in engine types so
+// the same job can run on either engine for the §IV-B2 comparison.
+type (
+	// MapFunc emits key/value pairs for one document.
+	MapFunc = datastore.MapFunc
+	// ReduceFunc folds values for a key; it must be associative because
+	// it is also used as a combiner on partial groups.
+	ReduceFunc = datastore.ReduceFunc
+)
+
+// Config controls engine parallelism.
+type Config struct {
+	// MapWorkers is the number of concurrent map tasks; 0 means GOMAXPROCS.
+	MapWorkers int
+	// ReduceWorkers is the number of reduce partitions; 0 means MapWorkers.
+	ReduceWorkers int
+	// DisableCombiner turns off map-side combining (for ablation).
+	DisableCombiner bool
+}
+
+func (c Config) normalized() Config {
+	if c.MapWorkers <= 0 {
+		c.MapWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.ReduceWorkers <= 0 {
+		c.ReduceWorkers = c.MapWorkers
+	}
+	return c
+}
+
+// Result is one reduced group.
+type Result struct {
+	Key   string
+	Value any
+}
+
+// Run executes the job over docs and returns one Result per distinct key,
+// sorted by key.
+func Run(docs []document.D, mapper MapFunc, reducer ReduceFunc, cfg Config) []Result {
+	cfg = cfg.normalized()
+	if len(docs) == 0 {
+		return nil
+	}
+
+	// --- map phase, with map-local combining ---
+	type partial struct {
+		key  string
+		vals []any
+	}
+	nParts := cfg.ReduceWorkers
+	// perWorker[w][p] collects partials from map worker w for partition p.
+	perWorker := make([][]map[string][]any, cfg.MapWorkers)
+	var wg sync.WaitGroup
+	chunk := (len(docs) + cfg.MapWorkers - 1) / cfg.MapWorkers
+	for w := 0; w < cfg.MapWorkers; w++ {
+		lo := w * chunk
+		if lo >= len(docs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts := make([]map[string][]any, nParts)
+			for i := range parts {
+				parts[i] = make(map[string][]any)
+			}
+			emit := func(key string, value any) {
+				p := partitionOf(key, nParts)
+				parts[p][key] = append(parts[p][key], value)
+			}
+			for _, d := range docs[lo:hi] {
+				mapper(d, emit)
+			}
+			if !cfg.DisableCombiner {
+				for _, m := range parts {
+					for k, vs := range m {
+						if len(vs) > 1 {
+							m[k] = []any{reducer(k, vs)}
+						}
+					}
+				}
+			}
+			perWorker[w] = parts
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// --- shuffle + reduce phase ---
+	partResults := make([][]partial, nParts)
+	var rg sync.WaitGroup
+	for p := 0; p < nParts; p++ {
+		rg.Add(1)
+		go func(p int) {
+			defer rg.Done()
+			groups := make(map[string][]any)
+			for _, parts := range perWorker {
+				if parts == nil {
+					continue
+				}
+				for k, vs := range parts[p] {
+					groups[k] = append(groups[k], vs...)
+				}
+			}
+			out := make([]partial, 0, len(groups))
+			for k, vs := range groups {
+				var v any
+				if len(vs) == 1 {
+					v = vs[0]
+				} else {
+					v = reducer(k, vs)
+				}
+				out = append(out, partial{key: k, vals: []any{v}})
+			}
+			partResults[p] = out
+		}(p)
+	}
+	rg.Wait()
+
+	// --- merge, sorted by key ---
+	total := 0
+	for _, pr := range partResults {
+		total += len(pr)
+	}
+	results := make([]Result, 0, total)
+	for _, pr := range partResults {
+		for _, p := range pr {
+			results = append(results, Result{Key: p.key, Value: p.vals[0]})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Key < results[j].Key })
+	return results
+}
+
+// RunCollection runs the job over documents matching filter in a
+// collection, returning {"_id", "value"} documents compatible with the
+// built-in engine's output.
+func RunCollection(c *datastore.Collection, filter document.D, mapper MapFunc, reducer ReduceFunc, cfg Config) ([]document.D, error) {
+	docs, err := c.FindAll(filter, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := Run(docs, mapper, reducer, cfg)
+	out := make([]document.D, len(res))
+	for i, r := range res {
+		out[i] = document.D{"_id": r.Key, "value": document.Normalize(r.Value)}
+	}
+	return out, nil
+}
+
+// RunCollectionInto runs the job and replaces target's contents with the
+// results, like the built-in MapReduceInto.
+func RunCollectionInto(c *datastore.Collection, filter document.D, mapper MapFunc, reducer ReduceFunc, cfg Config, target *datastore.Collection) (int, error) {
+	res, err := RunCollection(c, filter, mapper, reducer, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := target.Remove(nil); err != nil {
+		return 0, err
+	}
+	for _, d := range res {
+		if _, err := target.Insert(d); err != nil {
+			return 0, err
+		}
+	}
+	return len(res), nil
+}
+
+func partitionOf(key string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,202 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func countMap(d document.D, emit func(string, any)) {
+	emit(d.GetString("group"), int64(1))
+}
+
+func sumReduce(_ string, vs []any) any {
+	var sum int64
+	for _, v := range vs {
+		n, _ := v.(int64)
+		sum += n
+	}
+	return sum
+}
+
+func makeDocs(n, groups int) []document.D {
+	docs := make([]document.D, n)
+	for i := range docs {
+		docs[i] = document.D{
+			"_id":   fmt.Sprintf("d%06d", i),
+			"group": fmt.Sprintf("g%03d", i%groups),
+			"val":   float64(i),
+		}
+	}
+	return docs
+}
+
+func TestRunCountsPerGroup(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{MapWorkers: 1, ReduceWorkers: 1},
+		{MapWorkers: 4, ReduceWorkers: 2},
+		{MapWorkers: 3, ReduceWorkers: 7, DisableCombiner: true},
+	} {
+		res := Run(makeDocs(1000, 10), countMap, sumReduce, cfg)
+		if len(res) != 10 {
+			t.Fatalf("cfg %+v: groups = %d", cfg, len(res))
+		}
+		for i, r := range res {
+			if r.Value != int64(100) {
+				t.Errorf("cfg %+v: %s = %v", cfg, r.Key, r.Value)
+			}
+			if i > 0 && res[i-1].Key >= r.Key {
+				t.Fatalf("cfg %+v: results not sorted", cfg)
+			}
+		}
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	if res := Run(nil, countMap, sumReduce, Config{}); res != nil {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestRunSingleDocSkipsReduce(t *testing.T) {
+	reduces := 0
+	res := Run(makeDocs(1, 1), countMap, func(k string, vs []any) any {
+		reduces++
+		return sumReduce(k, vs)
+	}, Config{MapWorkers: 2})
+	if len(res) != 1 || res[0].Value != int64(1) {
+		t.Fatalf("res = %v", res)
+	}
+	if reduces != 0 {
+		t.Errorf("reduce called %d times on singleton", reduces)
+	}
+}
+
+func TestParallelMatchesBuiltinEngine(t *testing.T) {
+	s := datastore.MustOpenMemory()
+	c := s.C("tasks")
+	for i := 0; i < 500; i++ {
+		c.Insert(document.D{
+			"mps_id": fmt.Sprintf("mps-%03d", i%37),
+			"energy": -float64(i%11) - 0.5,
+		})
+	}
+	mapper := func(d document.D, emit func(string, any)) {
+		e, _ := d.GetFloat("energy")
+		emit(d.GetString("mps_id"), e)
+	}
+	reducer := func(_ string, vs []any) any {
+		best, _ := document.AsFloat(vs[0])
+		for _, v := range vs[1:] {
+			f, _ := document.AsFloat(v)
+			if f < best {
+				best = f
+			}
+		}
+		return best
+	}
+	builtin, err := c.MapReduce(nil, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunCollection(c, nil, mapper, reducer, Config{MapWorkers: 8, ReduceWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(builtin) != len(parallel) {
+		t.Fatalf("builtin %d vs parallel %d groups", len(builtin), len(parallel))
+	}
+	for i := range builtin {
+		if builtin[i]["_id"] != parallel[i]["_id"] {
+			t.Fatalf("key mismatch at %d: %v vs %v", i, builtin[i]["_id"], parallel[i]["_id"])
+		}
+		if !document.Equal(builtin[i]["value"], parallel[i]["value"]) {
+			t.Errorf("value mismatch for %v: %v vs %v", builtin[i]["_id"], builtin[i]["value"], parallel[i]["value"])
+		}
+	}
+}
+
+func TestRunCollectionInto(t *testing.T) {
+	s := datastore.MustOpenMemory()
+	c := s.C("src")
+	for i := 0; i < 40; i++ {
+		c.Insert(document.D{"group": fmt.Sprintf("g%d", i%4)})
+	}
+	target := s.C("dst")
+	target.Insert(document.D{"stale": true})
+	n, err := RunCollectionInto(c, nil, countMap, sumReduce, Config{}, target)
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	cnt, _ := target.Count(nil)
+	if cnt != 4 {
+		t.Errorf("target count = %d", cnt)
+	}
+}
+
+func TestRunCollectionBadFilter(t *testing.T) {
+	s := datastore.MustOpenMemory()
+	if _, err := RunCollection(s.C("x"), document.D{"$bad": 1}, countMap, sumReduce, Config{}); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestCombinerOnOffSameResult(t *testing.T) {
+	docs := makeDocs(2000, 13)
+	on := Run(docs, countMap, sumReduce, Config{MapWorkers: 4})
+	off := Run(docs, countMap, sumReduce, Config{MapWorkers: 4, DisableCombiner: true})
+	if len(on) != len(off) {
+		t.Fatalf("%d vs %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Errorf("mismatch at %d: %+v vs %+v", i, on[i], off[i])
+		}
+	}
+}
+
+func TestQuickParallelCountInvariant(t *testing.T) {
+	f := func(raw []uint8, workers uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		docs := make([]document.D, len(raw))
+		want := make(map[string]int64)
+		for i, v := range raw {
+			g := fmt.Sprintf("g%d", v%5)
+			docs[i] = document.D{"group": g}
+			want[g]++
+		}
+		res := Run(docs, countMap, sumReduce, Config{MapWorkers: int(workers%8) + 1, ReduceWorkers: int(workers%3) + 1})
+		if len(res) != len(want) {
+			return false
+		}
+		for _, r := range res {
+			if r.Value != want[r.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfStableAndBounded(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		for _, k := range []string{"", "a", "mps-001", "long-key-value"} {
+			p := partitionOf(k, n)
+			if p < 0 || p >= n {
+				t.Errorf("partitionOf(%q, %d) = %d", k, n, p)
+			}
+			if p != partitionOf(k, n) {
+				t.Error("partition not stable")
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package mpclient
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"matproj/internal/analysis"
+	"matproj/internal/datastore"
+	"matproj/internal/dft"
+	"matproj/internal/document"
+	"matproj/internal/queryengine"
+	"matproj/internal/restapi"
+)
+
+func doc(s string) document.D { return document.MustFromJSON(s) }
+
+// server stands up a Materials API over a hand-seeded corpus.
+func server(t *testing.T) *httptest.Server {
+	t.Helper()
+	store := datastore.MustOpenMemory()
+	mats := store.C("materials")
+	rows := []string{
+		`{"_id": "mat-1", "pretty_formula": "Fe2O3", "final_energy": -20.0, "e_per_atom": -4.0, "band_gap": 2.1, "elements": ["Fe", "O"]}`,
+		`{"_id": "mat-2", "pretty_formula": "FeO",   "final_energy": -8.5,  "e_per_atom": -4.25, "band_gap": 1.0, "elements": ["Fe", "O"]}`,
+		`{"_id": "mat-3", "pretty_formula": "Fe",    "final_energy": -3.4,  "e_per_atom": -3.4, "band_gap": 0.0, "elements": ["Fe"]}`,
+		`{"_id": "mat-4", "pretty_formula": "LiFeO2","final_energy": -15.0, "e_per_atom": -3.75, "band_gap": 2.5, "elements": ["Fe", "Li", "O"]}`,
+		`{"_id": "mat-5", "pretty_formula": "NaCl",  "final_energy": -6.0,  "e_per_atom": -3.0, "band_gap": 5.0, "elements": ["Cl", "Na"]}`,
+	}
+	for _, r := range rows {
+		if _, err := mats.Insert(doc(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.C("bandstructures").Insert(doc(`{"material_id": "mat-1", "band_gap": 2.1, "bands": [[1, 2]]}`))
+	store.C("xrd").Insert(doc(`{"material_id": "mat-1", "npeaks": 4}`))
+	store.C("batteries").Insert(doc(`{"battery_id": "b1", "working_ion": "Li", "voltage": 3.3}`))
+	srv := httptest.NewServer(restapi.NewServer(queryengine.New(store), restapi.NewAuth(store), store))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func client(t *testing.T) *Client {
+	t.Helper()
+	srv := server(t)
+	c, err := Signup(srv.URL, "google", "client@test.dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSignupAndEnergy(t *testing.T) {
+	c := client(t)
+	e, err := c.Energy("Fe2O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != -20.0 {
+		t.Errorf("energy = %v", e)
+	}
+	if _, err := c.Energy("KF"); err == nil {
+		t.Error("missing compound should error")
+	}
+}
+
+func TestSignupRejectsUntrustedProvider(t *testing.T) {
+	srv := server(t)
+	if _, err := Signup(srv.URL, "evilcorp", "x@y.z"); err == nil {
+		t.Error("untrusted provider accepted")
+	}
+}
+
+func TestBadKeyYieldsAPIError(t *testing.T) {
+	srv := server(t)
+	c := New(srv.URL, "wrong")
+	_, err := c.Energy("Fe2O3")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 401 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMaterialsAndQuery(t *testing.T) {
+	c := client(t)
+	// Subset chemsys semantics: Fe2O3, FeO, and elemental Fe.
+	mats, err := c.Materials("Fe-O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) != 3 {
+		t.Errorf("Fe-O materials = %d", len(mats))
+	}
+	res, err := c.Query(document.D{"band_gap": document.D{"$gte": 2.0}}, []string{"formula"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Errorf("query results = %d", len(res))
+	}
+	for _, d := range res {
+		if !d.Has("pretty_formula") {
+			t.Errorf("projection missing: %v", d)
+		}
+		if d.Has("final_energy") {
+			t.Errorf("projection leaked: %v", d)
+		}
+	}
+	limited, _ := c.Query(nil, nil, 2)
+	if len(limited) != 2 {
+		t.Errorf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestDerivedFetches(t *testing.T) {
+	c := client(t)
+	bs, err := c.BandStructure("mat-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := bs.GetFloat("band_gap"); v != 2.1 {
+		t.Errorf("bs = %v", bs)
+	}
+	if _, err := c.BandStructure("mat-404"); err == nil {
+		t.Error("missing bs accepted")
+	}
+	x, err := c.XRD("mat-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := x.GetInt("npeaks"); n != 4 {
+		t.Errorf("xrd = %v", x)
+	}
+	bats, err := c.Batteries("Li")
+	if err != nil || len(bats) != 1 {
+		t.Errorf("batteries = %v err=%v", bats, err)
+	}
+	none, err := c.Batteries("Na")
+	if err != nil || len(none) != 0 {
+		t.Errorf("Na batteries = %v err=%v", none, err)
+	}
+}
+
+func TestEntriesFeedLocalPhaseDiagram(t *testing.T) {
+	c := client(t)
+	entries, err := c.Entries([]string{"Fe", "O"}, dft.ElementalEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fe2O3, FeO, Fe from the corpus; O synthesized from the reference.
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d: %+v", len(entries), entries)
+	}
+	foundRef := false
+	for _, e := range entries {
+		if e.ID == "ref-O" {
+			foundRef = true
+		}
+		if e.Composition.Contains("Li") || e.Composition.Contains("Na") {
+			t.Errorf("entry %s outside the Fe-O system", e.ID)
+		}
+	}
+	if !foundRef {
+		t.Error("missing synthesized O reference")
+	}
+	// The remote data plugs straight into the local analysis library.
+	pd, err := analysis.NewPhaseDiagram(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := pd.StableEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stable) == 0 {
+		t.Error("no stable entries")
+	}
+}
+
+func TestEntriesValidation(t *testing.T) {
+	c := client(t)
+	if _, err := c.Entries(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := c.Entries([]string{"Zz"}, nil); err == nil {
+		t.Error("unknown element accepted")
+	}
+	// Without a reference synthesizer, missing elemental refs simply
+	// yield fewer entries (the phase diagram ctor reports the gap).
+	entries, err := c.Entries([]string{"Fe", "O"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("entries = %d", len(entries))
+	}
+	if _, err := analysis.NewPhaseDiagram(entries); err == nil {
+		t.Error("phase diagram should demand the missing O reference")
+	}
+}
+
+func TestClientAggregate(t *testing.T) {
+	c := client(t)
+	out, err := c.Aggregate([]document.D{
+		{"$match": document.D{"elements": "Fe"}},
+		{"$group": document.MustFromJSON(`{"_id": null, "best": {"$min": "$final_energy"}, "n": {"$sum": 1}}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if v, _ := out[0].GetFloat("best"); v != -20.0 {
+		t.Errorf("best = %v", v)
+	}
+	if n, _ := out[0].GetInt("n"); n != 4 {
+		t.Errorf("n = %v", n)
+	}
+	// Server-side sanitization propagates as an APIError.
+	_, err = c.Aggregate([]document.D{{"$out": document.D{}}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,252 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"matproj/internal/builder"
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NMaterials = 30
+	return cfg
+}
+
+func TestBuildFullDeployment(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MPSRecords != 30 {
+		t.Errorf("mps = %d", d.MPSRecords)
+	}
+	if d.Materials == 0 || d.Materials > d.Tasks {
+		t.Errorf("materials = %d, tasks = %d", d.Materials, d.Tasks)
+	}
+	if d.Bands != d.Materials || d.XRDPatterns != d.Materials {
+		t.Errorf("derived: bands=%d xrd=%d materials=%d", d.Bands, d.XRDPatterns, d.Materials)
+	}
+	if d.Batteries == 0 {
+		t.Error("no batteries screened")
+	}
+	if d.BatchJobs == 0 || d.Cluster.Now() == 0 {
+		t.Error("cluster did not run")
+	}
+
+	// The engine serves aliased queries over the built materials.
+	mats, err := d.Engine.Find("u", "materials", document.D{"bandgap": document.D{"$gte": 0.0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) == 0 {
+		t.Error("engine query returned nothing")
+	}
+
+	// V&V over a freshly built deployment is clean.
+	runner := &builder.Runner{Store: d.Store}
+	violations, err := runner.RunChecks(builder.StandardChecks(d.Store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("violations on fresh build: %+v", violations)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestBuildPersistsAndReopens(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NMaterials = 12
+	cfg.PersistDir = t.TempDir()
+	cfg.SkipDerived = true
+	d, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMats := d.Materials
+	if err := d.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: everything replays from the journal.
+	reopened, err := Build(Config{NMaterials: 1, Seed: 999, Nodes: 1, Workers: 1,
+		JobWalltime: time.Hour, SkipDerived: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = reopened
+	store2, err := datastore.Open(cfg.PersistDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	n, _ := store2.C("materials").Count(nil)
+	if n != wantMats {
+		t.Errorf("reopened materials = %d, want %d", n, wantMats)
+	}
+}
+
+func TestBatteryScreenShape(t *testing.T) {
+	cands, err := BatteryScreen(42, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 10 {
+		t.Fatalf("only %d candidates survived", len(cands))
+	}
+	for _, c := range cands {
+		if c.Voltage <= 0 || c.Voltage > 6 {
+			t.Errorf("%s voltage %v out of screen bounds", c.Formula, c.Voltage)
+		}
+		if c.Capacity <= 0 || c.Capacity > 1500 {
+			t.Errorf("%s capacity %v implausible", c.Formula, c.Capacity)
+		}
+		if c.Ion != "Li" && c.Ion != "Na" {
+			t.Errorf("%s ion %q", c.Formula, c.Ion)
+		}
+	}
+	// The candidate cloud must be broader than the known-materials band
+	// (the point of Fig. 1): at least one candidate outside 2.5-5 V or
+	// outside 100-200 mAh/g.
+	broader := false
+	for _, c := range cands {
+		if c.Voltage < 2.5 || c.Voltage > 5 || c.Capacity < 100 || c.Capacity > 200 {
+			broader = true
+		}
+	}
+	if !broader {
+		t.Error("candidates all inside the known band; screen adds nothing")
+	}
+}
+
+func TestBatteryCandidatesCarryDiffusionScreen(t *testing.T) {
+	cands, err := BatteryScreen(7, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBarrier := 0
+	for _, c := range cands {
+		if c.Barrier > 0 {
+			withBarrier++
+			if c.Barrier > 3 {
+				t.Errorf("%s barrier %v unphysical", c.Formula, c.Barrier)
+			}
+			if c.Diffusivity <= 0 || c.Diffusivity > 1e-3 {
+				t.Errorf("%s diffusivity %g unphysical", c.Formula, c.Diffusivity)
+			}
+		}
+	}
+	if withBarrier == 0 {
+		t.Error("no candidate received a diffusion barrier")
+	}
+}
+
+func TestBatteryDocsIncludeDiffusion(t *testing.T) {
+	cfg := smallConfig()
+	d, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := d.Store.C("batteries").FindOne(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bat.Has("diffusion_barrier_ev") || !bat.Has("diffusivity_cm2s") {
+		t.Errorf("battery doc missing diffusion fields: %v", bat)
+	}
+}
+
+func TestConversionBatteriesBuilt(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ConversionBatteries == 0 {
+		t.Fatal("no conversion batteries built")
+	}
+	n, _ := d.Store.C("conversion_batteries").Count(nil)
+	if n != d.ConversionBatteries {
+		t.Errorf("collection %d vs counter %d", n, d.ConversionBatteries)
+	}
+	// As in the paper's corpus, conversion couples outnumber (or at least
+	// rival) intercalation ones: every alkali-free anion compound counts.
+	if d.ConversionBatteries < d.Batteries/4 {
+		t.Errorf("conversion %d suspiciously few vs intercalation %d", d.ConversionBatteries, d.Batteries)
+	}
+	doc, _ := d.Store.C("conversion_batteries").FindOne(nil, nil)
+	if v, ok := doc.GetFloat("capacity"); !ok || v < 100 {
+		t.Errorf("conversion capacity = %v", v)
+	}
+}
+
+func TestPipelineAnnotatesStability(t *testing.T) {
+	d, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := d.Store.C("materials").Count(document.D{"e_above_hull": document.D{"$exists": true}})
+	if n == 0 {
+		t.Error("no materials carry hull stability")
+	}
+	stable, _ := d.Store.C("materials").Count(document.D{"is_stable": true})
+	if stable == 0 {
+		t.Error("no stable materials")
+	}
+}
+
+func TestStaticFollowUpChainsAndOverrides(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NMaterials = 15
+	cfg.SkipDerived = true
+	cfg.StaticFollowUp = true
+	d, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := d.Store.C("engines")
+	// Every firework settles; static fireworks completed after their
+	// relax parents.
+	nonTerminal, _ := engines.Count(document.D{"state": document.D{"$in": []any{"WAITING", "READY", "RUNNING"}}})
+	if nonTerminal != 0 {
+		t.Fatalf("%d fireworks stuck", nonTerminal)
+	}
+	statics, err := engines.FindAll(document.D{"stage.task_type": "static", "state": "COMPLETED"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statics) == 0 {
+		t.Fatal("no static fireworks completed")
+	}
+	// The StaticFuse override fired: tightened EDIFF recorded in the
+	// stage and in spec_history, and the relaxed energy carried forward.
+	withCarry := 0
+	for _, fw := range statics {
+		if fw.GetString("output.duplicate_of") != "" {
+			continue // deduped statics never launched, no override applied
+		}
+		if v, _ := fw.GetFloat("stage.params.ediff"); v != 1e-6 {
+			t.Errorf("static %v ediff = %v", fw["_id"], v)
+		}
+		if len(fw.GetArray("spec_history")) == 0 {
+			t.Errorf("static %v has no spec history", fw["_id"])
+		}
+		if fw.Has("stage.relaxed_energy") {
+			withCarry++
+		}
+	}
+	if withCarry == 0 {
+		t.Error("no static firework carried the parent energy")
+	}
+	// Static tasks landed in the tasks collection.
+	n, _ := d.Store.C("tasks").Count(document.D{"result.task_type": "static", "state": "successful"})
+	if n == 0 {
+		t.Error("no successful static tasks")
+	}
+}

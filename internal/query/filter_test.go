@@ -1,0 +1,349 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matproj/internal/document"
+)
+
+func doc(s string) document.D { return document.MustFromJSON(s) }
+
+// matchJSON compiles filter f and reports whether it matches document d.
+func matchJSON(t *testing.T, f, d string) bool {
+	t.Helper()
+	flt, err := Compile(doc(f))
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", f, err)
+	}
+	return flt.Matches(doc(d))
+}
+
+func TestEmptyFilterMatchesAll(t *testing.T) {
+	if !matchJSON(t, `{}`, `{"a": 1}`) {
+		t.Error("empty filter should match")
+	}
+	var nilFilter *Filter
+	if !nilFilter.Matches(doc(`{"a":1}`)) {
+		t.Error("nil filter should match")
+	}
+}
+
+func TestImplicitEquality(t *testing.T) {
+	cases := []struct {
+		f, d string
+		want bool
+	}{
+		{`{"a": 1}`, `{"a": 1}`, true},
+		{`{"a": 1}`, `{"a": 1.0}`, true},
+		{`{"a": 1}`, `{"a": 2}`, false},
+		{`{"a": "x"}`, `{"a": "x"}`, true},
+		{`{"a": null}`, `{"b": 1}`, true}, // null matches missing
+		{`{"a": null}`, `{"a": null}`, true},
+		{`{"a": null}`, `{"a": 1}`, false},
+		{`{"a.b": 3}`, `{"a": {"b": 3}}`, true},
+		{`{"a": {"b": 3}}`, `{"a": {"b": 3}}`, true},
+		{`{"a": {"b": 3}}`, `{"a": {"b": 3, "c": 4}}`, false}, // exact doc match
+	}
+	for _, c := range cases {
+		if got := matchJSON(t, c.f, c.d); got != c.want {
+			t.Errorf("filter %s vs %s = %v, want %v", c.f, c.d, got, c.want)
+		}
+	}
+}
+
+func TestEqualityAgainstArrayElements(t *testing.T) {
+	// Mongo semantics: {elements: "Li"} matches docs where elements is an
+	// array containing "Li".
+	if !matchJSON(t, `{"elements": "Li"}`, `{"elements": ["Li", "O"]}`) {
+		t.Error("scalar eq should match array element")
+	}
+	if !matchJSON(t, `{"elements": ["Li", "O"]}`, `{"elements": ["Li", "O"]}`) {
+		t.Error("whole-array eq should match")
+	}
+	if matchJSON(t, `{"elements": "Na"}`, `{"elements": ["Li", "O"]}`) {
+		t.Error("non-member should not match")
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	cases := []struct {
+		f, d string
+		want bool
+	}{
+		{`{"n": {"$lt": 5}}`, `{"n": 4}`, true},
+		{`{"n": {"$lt": 5}}`, `{"n": 5}`, false},
+		{`{"n": {"$lte": 5}}`, `{"n": 5}`, true},
+		{`{"n": {"$gt": 5}}`, `{"n": 6}`, true},
+		{`{"n": {"$gte": 5}}`, `{"n": 5}`, true},
+		{`{"n": {"$gte": 5, "$lt": 10}}`, `{"n": 7}`, true},
+		{`{"n": {"$gte": 5, "$lt": 10}}`, `{"n": 10}`, false},
+		{`{"n": {"$gt": 1}}`, `{"m": 2}`, false},     // missing
+		{`{"n": {"$gt": 1}}`, `{"n": "str"}`, false}, // cross-type
+		{`{"s": {"$gt": "a"}}`, `{"s": "b"}`, true},  // strings compare
+		{`{"n": {"$ne": 3}}`, `{"n": 4}`, true},
+		{`{"n": {"$ne": 3}}`, `{"n": 3}`, false},
+		{`{"n": {"$ne": 3}}`, `{}`, true}, // $ne matches missing
+		{`{"tags": {"$ne": "x"}}`, `{"tags": ["x", "y"]}`, false},
+		{`{"tags": {"$ne": "z"}}`, `{"tags": ["x", "y"]}`, true},
+	}
+	for _, c := range cases {
+		if got := matchJSON(t, c.f, c.d); got != c.want {
+			t.Errorf("filter %s vs %s = %v, want %v", c.f, c.d, got, c.want)
+		}
+	}
+}
+
+func TestComparisonAgainstArray(t *testing.T) {
+	// Per-element comparison semantics.
+	if !matchJSON(t, `{"scores": {"$gt": 8}}`, `{"scores": [3, 9]}`) {
+		t.Error("$gt should match any array element")
+	}
+	if matchJSON(t, `{"scores": {"$gt": 10}}`, `{"scores": [3, 9]}`) {
+		t.Error("$gt matched though no element qualifies")
+	}
+}
+
+func TestPaperExampleQuery(t *testing.T) {
+	// The exact query from §III-B2 of the paper.
+	f := doc(`{"elements": {"$all": ["Li", "O"]}, "nelectrons": {"$lte": 200}}`)
+	flt := MustCompile(f)
+	match := doc(`{"elements": ["Li", "Fe", "O"], "nelectrons": 120}`)
+	if !flt.Matches(match) {
+		t.Error("paper query should match LiFeO with 120 electrons")
+	}
+	noLi := doc(`{"elements": ["Na", "O"], "nelectrons": 120}`)
+	if flt.Matches(noLi) {
+		t.Error("paper query matched crystal without Li")
+	}
+	tooMany := doc(`{"elements": ["Li", "O"], "nelectrons": 220}`)
+	if flt.Matches(tooMany) {
+		t.Error("paper query matched crystal with 220 electrons")
+	}
+}
+
+func TestInNin(t *testing.T) {
+	cases := []struct {
+		f, d string
+		want bool
+	}{
+		{`{"e": {"$in": ["Fe", "Co"]}}`, `{"e": "Fe"}`, true},
+		{`{"e": {"$in": ["Fe", "Co"]}}`, `{"e": "Ni"}`, false},
+		{`{"e": {"$in": ["Fe"]}}`, `{"e": ["Mn", "Fe"]}`, true}, // array element
+		{`{"e": {"$in": [null]}}`, `{}`, true},
+		{`{"e": {"$nin": ["Fe"]}}`, `{"e": "Ni"}`, true},
+		{`{"e": {"$nin": ["Fe"]}}`, `{"e": "Fe"}`, false},
+	}
+	for _, c := range cases {
+		if got := matchJSON(t, c.f, c.d); got != c.want {
+			t.Errorf("filter %s vs %s = %v, want %v", c.f, c.d, got, c.want)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	cases := []struct {
+		f, d string
+		want bool
+	}{
+		{`{"e": {"$all": ["Li", "O"]}}`, `{"e": ["Li", "Fe", "O"]}`, true},
+		{`{"e": {"$all": ["Li", "O"]}}`, `{"e": ["Li"]}`, false},
+		{`{"e": {"$all": ["Li"]}}`, `{"e": "Li"}`, true}, // scalar field
+		{`{"e": {"$all": []}}`, `{"e": ["Li"]}`, true},
+		{`{"e": {"$all": ["Li"]}}`, `{}`, false},
+	}
+	for _, c := range cases {
+		if got := matchJSON(t, c.f, c.d); got != c.want {
+			t.Errorf("filter %s vs %s = %v, want %v", c.f, c.d, got, c.want)
+		}
+	}
+}
+
+func TestExistsSizeType(t *testing.T) {
+	cases := []struct {
+		f, d string
+		want bool
+	}{
+		{`{"a": {"$exists": true}}`, `{"a": 0}`, true},
+		{`{"a": {"$exists": true}}`, `{}`, false},
+		{`{"a": {"$exists": false}}`, `{}`, true},
+		{`{"a": {"$size": 2}}`, `{"a": [1, 2]}`, true},
+		{`{"a": {"$size": 2}}`, `{"a": [1]}`, false},
+		{`{"a": {"$size": 2}}`, `{"a": "xy"}`, false},
+		{`{"a": {"$type": "string"}}`, `{"a": "s"}`, true},
+		{`{"a": {"$type": "int"}}`, `{"a": 3}`, true},
+		{`{"a": {"$type": "double"}}`, `{"a": 3.5}`, true},
+		{`{"a": {"$type": "number"}}`, `{"a": 3}`, true},
+		{`{"a": {"$type": "bool"}}`, `{"a": false}`, true},
+		{`{"a": {"$type": "object"}}`, `{"a": {}}`, true},
+		{`{"a": {"$type": "array"}}`, `{"a": []}`, true},
+		{`{"a": {"$type": "null"}}`, `{"a": null}`, true},
+		{`{"a": {"$type": "string"}}`, `{"a": 3}`, false},
+	}
+	for _, c := range cases {
+		if got := matchJSON(t, c.f, c.d); got != c.want {
+			t.Errorf("filter %s vs %s = %v, want %v", c.f, c.d, got, c.want)
+		}
+	}
+}
+
+func TestElemMatch(t *testing.T) {
+	d := `{"tasks": [{"state": "done", "energy": -3}, {"state": "failed", "energy": 0}]}`
+	if !matchJSON(t, `{"tasks": {"$elemMatch": {"state": "done", "energy": {"$lt": 0}}}}`, d) {
+		t.Error("$elemMatch should find done+negative-energy task")
+	}
+	if matchJSON(t, `{"tasks": {"$elemMatch": {"state": "failed", "energy": {"$lt": 0}}}}`, d) {
+		t.Error("$elemMatch matched conditions split across elements")
+	}
+	// Scalar elemMatch form.
+	if !matchJSON(t, `{"scores": {"$elemMatch": {"$gt": 5, "$lt": 9}}}`, `{"scores": [2, 7]}`) {
+		t.Error("scalar $elemMatch should match 7")
+	}
+	if matchJSON(t, `{"scores": {"$elemMatch": {"$gt": 5}}}`, `{"scores": "no"}`) {
+		t.Error("$elemMatch on non-array matched")
+	}
+}
+
+func TestRegex(t *testing.T) {
+	if !matchJSON(t, `{"formula": {"$regex": "^Li.*O\\d*$"}}`, `{"formula": "LiFeO2"}`) {
+		t.Error("regex should match LiFeO2")
+	}
+	if matchJSON(t, `{"formula": {"$regex": "^Na"}}`, `{"formula": "LiFeO2"}`) {
+		t.Error("regex ^Na matched LiFeO2")
+	}
+	if !matchJSON(t, `{"formula": {"$regex": "^li", "$options": "i"}}`, `{"formula": "LiFeO2"}`) {
+		t.Error("case-insensitive regex failed")
+	}
+	if matchJSON(t, `{"n": {"$regex": "x"}}`, `{"n": 5}`) {
+		t.Error("regex matched non-string")
+	}
+}
+
+func TestModAndNot(t *testing.T) {
+	if !matchJSON(t, `{"n": {"$mod": [4, 1]}}`, `{"n": 9}`) {
+		t.Error("$mod [4,1] should match 9")
+	}
+	if matchJSON(t, `{"n": {"$mod": [4, 0]}}`, `{"n": 9}`) {
+		t.Error("$mod [4,0] matched 9")
+	}
+	if !matchJSON(t, `{"n": {"$not": {"$gt": 5}}}`, `{"n": 3}`) {
+		t.Error("$not $gt failed")
+	}
+	if matchJSON(t, `{"n": {"$not": {"$gt": 5}}}`, `{"n": 7}`) {
+		t.Error("$not $gt matched 7")
+	}
+	// $not matches missing fields (negation of a failed predicate).
+	if !matchJSON(t, `{"n": {"$not": {"$gt": 5}}}`, `{}`) {
+		t.Error("$not should match missing field")
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	cases := []struct {
+		f, d string
+		want bool
+	}{
+		{`{"$or": [{"a": 1}, {"b": 2}]}`, `{"b": 2}`, true},
+		{`{"$or": [{"a": 1}, {"b": 2}]}`, `{"c": 3}`, false},
+		{`{"$and": [{"a": {"$gt": 0}}, {"a": {"$lt": 10}}]}`, `{"a": 5}`, true},
+		{`{"$and": [{"a": {"$gt": 0}}, {"a": {"$lt": 10}}]}`, `{"a": 15}`, false},
+		{`{"$nor": [{"a": 1}, {"b": 2}]}`, `{"c": 3}`, true},
+		{`{"$nor": [{"a": 1}]}`, `{"a": 1}`, false},
+		{`{"$or": [{"a": 1}], "b": 2}`, `{"a": 1, "b": 2}`, true},
+		{`{"$or": [{"a": 1}], "b": 2}`, `{"a": 1, "b": 3}`, false},
+	}
+	for _, c := range cases {
+		if got := matchJSON(t, c.f, c.d); got != c.want {
+			t.Errorf("filter %s vs %s = %v, want %v", c.f, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`{"$or": "x"}`,
+		`{"$or": []}`,
+		`{"$or": [3]}`,
+		`{"$unknown": 1}`,
+		`{"a": {"$in": 3}}`,
+		`{"a": {"$all": 3}}`,
+		`{"a": {"$exists": 1}}`,
+		`{"a": {"$size": "x"}}`,
+		`{"a": {"$elemMatch": 3}}`,
+		`{"a": {"$regex": 3}}`,
+		`{"a": {"$regex": "["}}`,
+		`{"a": {"$mod": [0, 1]}}`,
+		`{"a": {"$mod": [3]}}`,
+		`{"a": {"$type": 3}}`,
+		`{"a": {"$not": 3}}`,
+		`{"a": {"$bogus": 1}}`,
+		`{"$not": {"a": 1}}`,
+	}
+	for _, f := range bad {
+		if _, err := Compile(doc(f)); err == nil {
+			t.Errorf("Compile(%s): want error, got nil", f)
+		}
+	}
+}
+
+func TestEqualityFieldsForIndexSelection(t *testing.T) {
+	flt := MustCompile(doc(`{"state": "ready", "priority": {"$eq": 5}, "n": {"$lt": 10}}`))
+	eq := flt.EqualityFields()
+	if eq["state"] != "ready" {
+		t.Errorf("state eq = %v", eq["state"])
+	}
+	if eq["priority"] != int64(5) {
+		t.Errorf("priority eq = %v", eq["priority"])
+	}
+	if _, ok := eq["n"]; ok {
+		t.Error("range field reported as equality")
+	}
+	ranges := flt.RangeFields()
+	if len(ranges) != 1 || ranges[0].Path != "n" || !ranges[0].HasMax || ranges[0].HasMin {
+		t.Errorf("ranges = %+v", ranges)
+	}
+	contains := MustCompile(doc(`{"elements": {"$all": ["Li", "O"]}}`)).ContainsFields()
+	if len(contains) != 2 {
+		t.Errorf("contains = %+v", contains)
+	}
+}
+
+func TestEqualityFieldsInsideAnd(t *testing.T) {
+	flt := MustCompile(doc(`{"$and": [{"a": 1}, {"b": {"$gte": 2}}]}`))
+	if flt.EqualityFields()["a"] != int64(1) {
+		t.Error("$and equality constraint not surfaced")
+	}
+}
+
+func TestQuickFilterNeverPanicsAndIsConsistent(t *testing.T) {
+	f := func(n int64, s string) bool {
+		d := document.D{"n": n, "s": s, "arr": []any{n, s}}
+		flt := MustCompile(document.D{"n": document.D{"$gte": n}})
+		if !flt.Matches(d) {
+			return false
+		}
+		flt2 := MustCompile(document.D{"n": document.D{"$gt": n}})
+		return !flt2.Matches(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInIffEqualityExists(t *testing.T) {
+	f := func(vals []int64, probe int64) bool {
+		set := make([]any, len(vals))
+		member := false
+		for i, v := range vals {
+			set[i] = v
+			if v == probe {
+				member = true
+			}
+		}
+		flt := MustCompile(document.D{"x": document.D{"$in": set}})
+		return flt.Matches(document.D{"x": probe}) == member
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

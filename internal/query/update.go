@@ -1,0 +1,278 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"matproj/internal/document"
+)
+
+// Update is a compiled update specification: either a full-document
+// replacement or a set of atomic operators ($set, $unset, $inc, $mul,
+// $min, $max, $rename, $push, $addToSet, $pull, $pop).
+type Update struct {
+	replacement document.D
+	ops         []updateOp
+}
+
+type updateOp struct {
+	op   string
+	path string
+	arg  any
+}
+
+// CompileUpdate validates and compiles an update document. A document with
+// no $-prefixed keys is a replacement; mixing operators and plain keys is
+// an error, matching MongoDB.
+func CompileUpdate(u document.D) (*Update, error) {
+	u = document.NormalizeDoc(u)
+	hasOps, hasPlain := false, false
+	for k := range u {
+		if strings.HasPrefix(k, "$") {
+			hasOps = true
+		} else {
+			hasPlain = true
+		}
+	}
+	if hasOps && hasPlain {
+		return nil, fmt.Errorf("query: update cannot mix operators and replacement fields")
+	}
+	if !hasOps {
+		return &Update{replacement: u}, nil
+	}
+	upd := &Update{}
+	opNames := make([]string, 0, len(u))
+	for op := range u {
+		opNames = append(opNames, op)
+	}
+	sort.Strings(opNames)
+	for _, op := range opNames {
+		spec, ok := u[op].(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("query: %s requires a document of field: value pairs", op)
+		}
+		switch op {
+		case "$set", "$unset", "$inc", "$mul", "$min", "$max",
+			"$push", "$addToSet", "$pull", "$pop", "$rename":
+		default:
+			return nil, fmt.Errorf("query: unknown update operator %q", op)
+		}
+		paths := make([]string, 0, len(spec))
+		for p := range spec {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			arg := spec[p]
+			switch op {
+			case "$inc", "$mul":
+				if _, ok := document.AsFloat(arg); !ok {
+					return nil, fmt.Errorf("query: %s %q requires a numeric argument", op, p)
+				}
+			case "$pop":
+				if n, ok := arg.(int64); !ok || (n != 1 && n != -1) {
+					return nil, fmt.Errorf("query: $pop %q requires 1 or -1", p)
+				}
+			case "$rename":
+				if _, ok := arg.(string); !ok {
+					return nil, fmt.Errorf("query: $rename %q requires a string target", p)
+				}
+			}
+			upd.ops = append(upd.ops, updateOp{op: op, path: p, arg: arg})
+		}
+	}
+	return upd, nil
+}
+
+// MustCompileUpdate panics on error; for fixed updates in tests/examples.
+func MustCompileUpdate(u document.D) *Update {
+	c, err := CompileUpdate(u)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IsReplacement reports whether applying this update replaces the whole
+// document rather than mutating fields.
+func (u *Update) IsReplacement() bool { return u.replacement != nil }
+
+// Apply mutates doc in place according to the update. For replacements the
+// returned document is a fresh copy of the replacement (preserving the
+// original _id if the replacement lacks one) and doc is left untouched.
+func (u *Update) Apply(doc document.D) (document.D, error) {
+	if u.replacement != nil {
+		out := u.replacement.Copy()
+		if _, ok := out["_id"]; !ok {
+			if id, ok := doc["_id"]; ok {
+				out["_id"] = id
+			}
+		}
+		return out, nil
+	}
+	for _, op := range u.ops {
+		if err := applyOp(doc, op); err != nil {
+			return nil, err
+		}
+	}
+	return doc, nil
+}
+
+func applyOp(doc document.D, op updateOp) error {
+	switch op.op {
+	case "$set":
+		return doc.Set(op.path, op.arg)
+	case "$unset":
+		doc.Unset(op.path)
+		return nil
+	case "$inc", "$mul":
+		delta, _ := document.AsFloat(op.arg)
+		cur, ok := doc.Get(op.path)
+		if !ok {
+			if op.op == "$mul" {
+				return doc.Set(op.path, int64(0))
+			}
+			return doc.Set(op.path, op.arg)
+		}
+		curF, isNum := document.AsFloat(cur)
+		if !isNum {
+			return fmt.Errorf("query: %s target %q is not numeric", op.op, op.path)
+		}
+		var res float64
+		if op.op == "$inc" {
+			res = curF + delta
+		} else {
+			res = curF * delta
+		}
+		// Keep integers integral when both operands are int64.
+		_, curInt := cur.(int64)
+		_, argInt := op.arg.(int64)
+		if curInt && argInt {
+			return doc.Set(op.path, int64(res))
+		}
+		return doc.Set(op.path, res)
+	case "$min", "$max":
+		cur, ok := doc.Get(op.path)
+		if !ok {
+			return doc.Set(op.path, op.arg)
+		}
+		c := document.Compare(op.arg, cur)
+		if (op.op == "$min" && c < 0) || (op.op == "$max" && c > 0) {
+			return doc.Set(op.path, op.arg)
+		}
+		return nil
+	case "$rename":
+		target := op.arg.(string)
+		v, ok := doc.Get(op.path)
+		if !ok {
+			return nil
+		}
+		doc.Unset(op.path)
+		return doc.Set(target, v)
+	case "$push":
+		items := []any{op.arg}
+		if spec, ok := op.arg.(map[string]any); ok {
+			if each, hasEach := spec["$each"]; hasEach {
+				arr, ok := each.([]any)
+				if !ok {
+					return fmt.Errorf("query: $push $each for %q requires an array", op.path)
+				}
+				items = arr
+			}
+		}
+		cur, ok := doc.Get(op.path)
+		var arr []any
+		if ok {
+			arr, ok = cur.([]any)
+			if !ok {
+				return fmt.Errorf("query: $push target %q is not an array", op.path)
+			}
+		}
+		arr = append(arr, items...)
+		return doc.Set(op.path, arr)
+	case "$addToSet":
+		items := []any{op.arg}
+		if spec, ok := op.arg.(map[string]any); ok {
+			if each, hasEach := spec["$each"]; hasEach {
+				arr, ok := each.([]any)
+				if !ok {
+					return fmt.Errorf("query: $addToSet $each for %q requires an array", op.path)
+				}
+				items = arr
+			}
+		}
+		cur, ok := doc.Get(op.path)
+		var arr []any
+		if ok {
+			arr, ok = cur.([]any)
+			if !ok {
+				return fmt.Errorf("query: $addToSet target %q is not an array", op.path)
+			}
+		}
+		for _, item := range items {
+			dup := false
+			for _, el := range arr {
+				if document.Equal(el, item) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				arr = append(arr, item)
+			}
+		}
+		return doc.Set(op.path, arr)
+	case "$pull":
+		cur, ok := doc.Get(op.path)
+		if !ok {
+			return nil
+		}
+		arr, ok := cur.([]any)
+		if !ok {
+			return fmt.Errorf("query: $pull target %q is not an array", op.path)
+		}
+		// $pull argument may be a literal or an operator condition.
+		var keep []any
+		if cond, isDoc := op.arg.(map[string]any); isDoc && hasOperatorKey(cond) {
+			pred, _, err := compileOperators(op.path, cond)
+			if err != nil {
+				return err
+			}
+			for _, el := range arr {
+				if !pred.test(el, true) {
+					keep = append(keep, el)
+				}
+			}
+		} else {
+			for _, el := range arr {
+				if !document.Equal(el, op.arg) {
+					keep = append(keep, el)
+				}
+			}
+		}
+		if keep == nil {
+			keep = []any{}
+		}
+		return doc.Set(op.path, keep)
+	case "$pop":
+		cur, ok := doc.Get(op.path)
+		if !ok {
+			return nil
+		}
+		arr, ok := cur.([]any)
+		if !ok {
+			return fmt.Errorf("query: $pop target %q is not an array", op.path)
+		}
+		if len(arr) == 0 {
+			return nil
+		}
+		if op.arg.(int64) == 1 {
+			arr = arr[:len(arr)-1]
+		} else {
+			arr = arr[1:]
+		}
+		return doc.Set(op.path, arr)
+	}
+	return fmt.Errorf("query: unhandled update op %q", op.op)
+}

@@ -1,0 +1,310 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matproj/internal/document"
+)
+
+// applyJSON compiles update u and applies it to a document parsed from d.
+func applyJSON(t *testing.T, u, d string) document.D {
+	t.Helper()
+	upd, err := CompileUpdate(doc(u))
+	if err != nil {
+		t.Fatalf("CompileUpdate(%s): %v", u, err)
+	}
+	out, err := upd.Apply(doc(d))
+	if err != nil {
+		t.Fatalf("Apply(%s on %s): %v", u, d, err)
+	}
+	return out
+}
+
+func TestSetUnset(t *testing.T) {
+	out := applyJSON(t, `{"$set": {"state": "done", "output.energy": -3.5}, "$unset": {"tmp": ""}}`,
+		`{"state": "running", "tmp": 1}`)
+	if out["state"] != "done" {
+		t.Errorf("state = %v", out["state"])
+	}
+	if v, _ := out.Get("output.energy"); v != -3.5 {
+		t.Errorf("output.energy = %v", v)
+	}
+	if out.Has("tmp") {
+		t.Error("tmp not unset")
+	}
+}
+
+func TestIncMul(t *testing.T) {
+	out := applyJSON(t, `{"$inc": {"count": 2, "fresh": 5}, "$mul": {"scale": 3}}`,
+		`{"count": 1, "scale": 2}`)
+	if out["count"] != int64(3) {
+		t.Errorf("count = %v (%T)", out["count"], out["count"])
+	}
+	if out["fresh"] != int64(5) {
+		t.Errorf("fresh = %v", out["fresh"])
+	}
+	if out["scale"] != int64(6) {
+		t.Errorf("scale = %v", out["scale"])
+	}
+	// $mul missing field -> 0 (Mongo semantics).
+	out2 := applyJSON(t, `{"$mul": {"missing": 3}}`, `{}`)
+	if out2["missing"] != int64(0) {
+		t.Errorf("missing after $mul = %v", out2["missing"])
+	}
+	// Float propagation.
+	out3 := applyJSON(t, `{"$inc": {"x": 0.5}}`, `{"x": 1}`)
+	if out3["x"] != 1.5 {
+		t.Errorf("x = %v", out3["x"])
+	}
+}
+
+func TestIncNonNumericErrors(t *testing.T) {
+	upd := MustCompileUpdate(doc(`{"$inc": {"s": 1}}`))
+	if _, err := upd.Apply(doc(`{"s": "str"}`)); err == nil {
+		t.Error("$inc on string: want error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	out := applyJSON(t, `{"$min": {"lo": 3}, "$max": {"hi": 3}}`, `{"lo": 5, "hi": 5}`)
+	if out["lo"] != int64(3) {
+		t.Errorf("lo = %v", out["lo"])
+	}
+	if out["hi"] != int64(5) {
+		t.Errorf("hi = %v", out["hi"])
+	}
+	out2 := applyJSON(t, `{"$min": {"fresh": 7}}`, `{}`)
+	if out2["fresh"] != int64(7) {
+		t.Errorf("fresh = %v", out2["fresh"])
+	}
+}
+
+func TestRename(t *testing.T) {
+	out := applyJSON(t, `{"$rename": {"old": "new.nested"}}`, `{"old": 42}`)
+	if out.Has("old") {
+		t.Error("old still present")
+	}
+	if v, _ := out.Get("new.nested"); v != int64(42) {
+		t.Errorf("new.nested = %v", v)
+	}
+	// Renaming a missing field is a no-op.
+	out2 := applyJSON(t, `{"$rename": {"ghost": "x"}}`, `{"a": 1}`)
+	if out2.Has("x") {
+		t.Error("rename of missing field created target")
+	}
+}
+
+func TestPushAndEach(t *testing.T) {
+	out := applyJSON(t, `{"$push": {"log": "step1"}}`, `{"log": []}`)
+	if arr := out.GetArray("log"); len(arr) != 1 || arr[0] != "step1" {
+		t.Errorf("log = %v", arr)
+	}
+	out2 := applyJSON(t, `{"$push": {"log": {"$each": [1, 2]}}}`, `{}`)
+	if arr := out2.GetArray("log"); len(arr) != 2 {
+		t.Errorf("log = %v", arr)
+	}
+	upd := MustCompileUpdate(doc(`{"$push": {"n": 1}}`))
+	if _, err := upd.Apply(doc(`{"n": 3}`)); err == nil {
+		t.Error("$push to scalar: want error")
+	}
+}
+
+func TestAddToSet(t *testing.T) {
+	out := applyJSON(t, `{"$addToSet": {"e": "Li"}}`, `{"e": ["Li", "O"]}`)
+	if arr := out.GetArray("e"); len(arr) != 2 {
+		t.Errorf("e after dup add = %v", arr)
+	}
+	out2 := applyJSON(t, `{"$addToSet": {"e": {"$each": ["Na", "O"]}}}`, `{"e": ["O"]}`)
+	if arr := out2.GetArray("e"); len(arr) != 2 {
+		t.Errorf("e after $each = %v", arr)
+	}
+}
+
+func TestPull(t *testing.T) {
+	out := applyJSON(t, `{"$pull": {"n": 2}}`, `{"n": [1, 2, 3, 2]}`)
+	if arr := out.GetArray("n"); len(arr) != 2 || arr[0] != int64(1) || arr[1] != int64(3) {
+		t.Errorf("n = %v", arr)
+	}
+	// Operator form.
+	out2 := applyJSON(t, `{"$pull": {"n": {"$gte": 2}}}`, `{"n": [1, 2, 3]}`)
+	if arr := out2.GetArray("n"); len(arr) != 1 || arr[0] != int64(1) {
+		t.Errorf("n = %v", arr)
+	}
+	// Pull everything leaves an empty array, not nil.
+	out3 := applyJSON(t, `{"$pull": {"n": {"$gte": 0}}}`, `{"n": [1]}`)
+	if arr := out3.GetArray("n"); arr == nil || len(arr) != 0 {
+		t.Errorf("n = %#v", out3["n"])
+	}
+	// Missing field no-op.
+	out4 := applyJSON(t, `{"$pull": {"ghost": 1}}`, `{}`)
+	if out4.Has("ghost") {
+		t.Error("pull created field")
+	}
+}
+
+func TestPop(t *testing.T) {
+	out := applyJSON(t, `{"$pop": {"n": 1}}`, `{"n": [1, 2, 3]}`)
+	if arr := out.GetArray("n"); len(arr) != 2 || arr[1] != int64(2) {
+		t.Errorf("pop tail: n = %v", arr)
+	}
+	out2 := applyJSON(t, `{"$pop": {"n": -1}}`, `{"n": [1, 2, 3]}`)
+	if arr := out2.GetArray("n"); len(arr) != 2 || arr[0] != int64(2) {
+		t.Errorf("pop head: n = %v", arr)
+	}
+	out3 := applyJSON(t, `{"$pop": {"n": 1}}`, `{"n": []}`)
+	if arr := out3.GetArray("n"); len(arr) != 0 {
+		t.Errorf("pop empty: n = %v", arr)
+	}
+}
+
+func TestReplacementPreservesID(t *testing.T) {
+	upd := MustCompileUpdate(doc(`{"brand": "new"}`))
+	if !upd.IsReplacement() {
+		t.Fatal("expected replacement")
+	}
+	orig := doc(`{"_id": "m-1", "old": true}`)
+	out, err := upd.Apply(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["_id"] != "m-1" {
+		t.Errorf("_id = %v", out["_id"])
+	}
+	if out.Has("old") {
+		t.Error("replacement kept old field")
+	}
+	if !orig.Has("old") {
+		t.Error("replacement mutated original")
+	}
+	// Replacement with explicit _id wins.
+	upd2 := MustCompileUpdate(doc(`{"_id": "other"}`))
+	out2, _ := upd2.Apply(orig)
+	if out2["_id"] != "other" {
+		t.Errorf("_id = %v", out2["_id"])
+	}
+}
+
+func TestCompileUpdateErrors(t *testing.T) {
+	bad := []string{
+		`{"$set": {"a": 1}, "plain": 2}`,
+		`{"$set": 3}`,
+		`{"$bogus": {"a": 1}}`,
+		`{"$inc": {"a": "x"}}`,
+		`{"$pop": {"a": 2}}`,
+		`{"$pop": {"a": "x"}}`,
+		`{"$rename": {"a": 3}}`,
+	}
+	for _, u := range bad {
+		if _, err := CompileUpdate(doc(u)); err == nil {
+			t.Errorf("CompileUpdate(%s): want error", u)
+		}
+	}
+}
+
+func TestUpdateOrderIsDeterministic(t *testing.T) {
+	// Operators apply in sorted op order then sorted path order, so
+	// $inc before $set: $set wins on the same field.
+	out := applyJSON(t, `{"$inc": {"x": 1}, "$set": {"x": 100}}`, `{"x": 0}`)
+	if out["x"] != int64(100) {
+		t.Errorf("x = %v, want deterministic $set-last result 100", out["x"])
+	}
+}
+
+func TestPushEachNonArrayErrors(t *testing.T) {
+	upd := MustCompileUpdate(document.D{"$push": document.D{"a": document.D{"$each": "x"}}})
+	if _, err := upd.Apply(document.D{}); err == nil {
+		t.Error("$push $each non-array: want error")
+	}
+	upd2 := MustCompileUpdate(document.D{"$addToSet": document.D{"a": document.D{"$each": "x"}}})
+	if _, err := upd2.Apply(document.D{}); err == nil {
+		t.Error("$addToSet $each non-array: want error")
+	}
+}
+
+func TestQuickIncIsCommutative(t *testing.T) {
+	f := func(deltas []int8) bool {
+		a := document.D{"n": int64(0)}
+		b := document.D{"n": int64(0)}
+		// Apply forward to a, backward to b.
+		for _, d := range deltas {
+			upd := MustCompileUpdate(document.D{"$inc": document.D{"n": int64(d)}})
+			if _, err := upd.Apply(a); err != nil {
+				return false
+			}
+		}
+		for i := len(deltas) - 1; i >= 0; i-- {
+			upd := MustCompileUpdate(document.D{"$inc": document.D{"n": int64(deltas[i])}})
+			if _, err := upd.Apply(b); err != nil {
+				return false
+			}
+		}
+		return document.Equal(a["n"], b["n"])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPushGrowsByOne(t *testing.T) {
+	f := func(vals []int16) bool {
+		d := document.D{"arr": []any{}}
+		for i, v := range vals {
+			upd := MustCompileUpdate(document.D{"$push": document.D{"arr": int64(v)}})
+			if _, err := upd.Apply(d); err != nil {
+				return false
+			}
+			if len(d.GetArray("arr")) != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddToSetIdempotent(t *testing.T) {
+	f := func(vals []int8) bool {
+		d := document.D{"set": []any{}}
+		seen := map[int8]bool{}
+		for _, v := range vals {
+			seen[v] = true
+			upd := MustCompileUpdate(document.D{"$addToSet": document.D{"set": int64(v)}})
+			if _, err := upd.Apply(d); err != nil {
+				return false
+			}
+			// Applying the same value twice must not grow the set.
+			if _, err := upd.Apply(d); err != nil {
+				return false
+			}
+		}
+		return len(d.GetArray("set")) == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetUnsetRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		d := document.D{"keep": "x"}
+		set := MustCompileUpdate(document.D{"$set": document.D{"tmp.deep": v}})
+		if _, err := set.Apply(d); err != nil {
+			return false
+		}
+		got, ok := d.Get("tmp.deep")
+		if !ok || got != v {
+			return false
+		}
+		unset := MustCompileUpdate(document.D{"$unset": document.D{"tmp.deep": ""}})
+		if _, err := unset.Apply(d); err != nil {
+			return false
+		}
+		return !d.Has("tmp.deep") && d["keep"] == "x"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

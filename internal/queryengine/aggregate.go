@@ -1,0 +1,54 @@
+package queryengine
+
+import (
+	"fmt"
+
+	"matproj/internal/document"
+)
+
+// allowedStages is the aggregation surface exposed to clients. Anything
+// else — in particular stages that could execute code or touch other
+// collections — is rejected during sanitization.
+var allowedStages = map[string]bool{
+	"$match": true, "$project": true, "$group": true, "$sort": true,
+	"$limit": true, "$skip": true, "$unwind": true, "$count": true,
+}
+
+// Aggregate runs a sanitized aggregation pipeline: stage names are
+// whitelisted, `$match` stages pass through alias translation and the
+// denied-operator screen, and the whole call is charged against the
+// user's rate limit. Field references inside $group/$project use
+// physical field names (aliases apply to filters only, as with the find
+// path's projections... filters; this mirrors the production API, where
+// aggregation users were expected to know the stored schema).
+func (e *Engine) Aggregate(user, collection string, stages []document.D) ([]document.D, error) {
+	if err := e.checkRate(user); err != nil {
+		return nil, err
+	}
+	sanitized := make([]document.D, 0, len(stages))
+	for i, st := range stages {
+		st = document.NormalizeDoc(st)
+		if len(st) != 1 {
+			return nil, fmt.Errorf("queryengine: stage %d must have exactly one operator", i)
+		}
+		for op, body := range st {
+			if !allowedStages[op] {
+				return nil, fmt.Errorf("queryengine: stage %s is not permitted", op)
+			}
+			if op == "$match" {
+				m, ok := body.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("queryengine: stage %d: $match requires a document", i)
+				}
+				t, err := e.translate(collection, document.D(m))
+				if err != nil {
+					return nil, err
+				}
+				sanitized = append(sanitized, document.D{"$match": map[string]any(t)})
+				continue
+			}
+			sanitized = append(sanitized, document.D{op: body})
+		}
+	}
+	return e.store.C(e.physical(collection)).Aggregate(sanitized)
+}

@@ -1,0 +1,76 @@
+package queryengine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matproj/internal/document"
+)
+
+func TestEngineAggregateTranslatesMatchAliases(t *testing.T) {
+	e, _ := newEngine(t)
+	out, err := e.Aggregate("u", "materials", []document.D{
+		{"$match": doc(`{"energy": {"$lt": -5}}`)}, // alias for output.final_energy
+		{"$group": doc(`{"_id": null, "n": {"$sum": 1}}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0]["n"] != int64(2) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestEngineAggregateWhitelist(t *testing.T) {
+	e, _ := newEngine(t)
+	if _, err := e.Aggregate("u", "materials", []document.D{
+		{"$merge": doc(`{"into": "other"}`)},
+	}); err == nil {
+		t.Error("$merge accepted")
+	}
+	if _, err := e.Aggregate("u", "materials", []document.D{
+		{"$match": doc(`{}`), "$sort": doc(`{}`)},
+	}); err == nil {
+		t.Error("double-operator stage accepted")
+	}
+	if _, err := e.Aggregate("u", "materials", []document.D{
+		{"$match": doc(`{"x": {"$where": "code"}}`)},
+	}); err == nil {
+		t.Error("$where in $match accepted")
+	}
+	if _, err := e.Aggregate("u", "materials", []document.D{
+		{"$match": "notadoc"},
+	}); err == nil {
+		t.Error("non-document $match accepted")
+	}
+}
+
+func TestEngineAggregateRateLimited(t *testing.T) {
+	e, _ := newEngine(t, WithRateLimit(1, time.Minute))
+	p := []document.D{{"$count": "n"}}
+	if _, err := e.Aggregate("u", "materials", p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Aggregate("u", "materials", p); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEngineAggregateGroupOverCollectionAlias(t *testing.T) {
+	e, _ := newEngine(t)
+	e.AliasCollection("mats", "materials")
+	out, err := e.Aggregate("u", "mats", []document.D{
+		{"$unwind": "$elements"},
+		{"$group": doc(`{"_id": "$elements", "n": {"$sum": 1}}`)},
+		{"$sort": doc(`{"n": -1}`)},
+		{"$limit": int64(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fe and O both appear twice; the top group has n=2.
+	if len(out) != 1 || out[0]["n"] != int64(2) {
+		t.Errorf("out = %v", out)
+	}
+}

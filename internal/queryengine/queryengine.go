@@ -1,0 +1,446 @@
+// Package queryengine implements the abstraction layer the paper places
+// between every client and the raw datastore (§III-B4): it installs
+// convenient aliases for deeply nested fields, maps logical collection
+// names to physical ones, sanitizes queries so clients "cannot access the
+// database directly" (§IV-D1), and rate-limits per-user query traffic to
+// prevent denial-of-service or data-scraping.
+//
+// Because all reads and writes flow through this layer, the store behind
+// it could be swapped out without touching clients — the "defense against
+// lock-in" the paper describes.
+package queryengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// Engine is a sanitizing, aliasing facade over a datastore.
+type Engine struct {
+	store *datastore.Store
+
+	mu sync.RWMutex
+	// aliases maps collection -> alias -> physical dotted path.
+	aliases map[string]map[string]string
+	// collAliases maps logical collection name -> physical name.
+	collAliases map[string]string
+	// deniedOps are operator names rejected during sanitization.
+	deniedOps map[string]bool
+	limiter   *RateLimiter
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithRateLimit installs a per-user token bucket allowing n queries per
+// interval.
+func WithRateLimit(n int, interval time.Duration) Option {
+	return func(e *Engine) { e.limiter = NewRateLimiter(n, interval) }
+}
+
+// WithDeniedOperator rejects queries using the given operator (e.g. a
+// deployment may deny "$regex" to prevent expensive scans).
+func WithDeniedOperator(op string) Option {
+	return func(e *Engine) { e.deniedOps[op] = true }
+}
+
+// New wraps a store.
+func New(store *datastore.Store, opts ...Option) *Engine {
+	e := &Engine{
+		store:       store,
+		aliases:     make(map[string]map[string]string),
+		collAliases: make(map[string]string),
+		deniedOps:   map[string]bool{"$where": true}, // never allow code injection
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// AddAlias installs alias -> path for one collection, so clients can write
+// {energy: ...} instead of {"output.final_energy": ...}. Installing in a
+// "single central place" is the point of the layer.
+func (e *Engine) AddAlias(collection, alias, path string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.aliases[collection]
+	if m == nil {
+		m = make(map[string]string)
+		e.aliases[collection] = m
+	}
+	m[alias] = path
+}
+
+// AliasCollection maps a logical collection name to a physical one,
+// letting operators rename collections without breaking clients.
+func (e *Engine) AliasCollection(logical, physical string) {
+	e.mu.Lock()
+	e.collAliases[logical] = physical
+	e.mu.Unlock()
+}
+
+// Aliases reports the installed field aliases for a collection, sorted.
+func (e *Engine) Aliases(collection string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []string
+	for a := range e.aliases[collection] {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) physical(collection string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if p, ok := e.collAliases[collection]; ok {
+		return p
+	}
+	return collection
+}
+
+// translate rewrites aliased field names in a filter/update/projection
+// document and rejects denied operators. Keys are rewritten at any
+// nesting level inside logical operators; values below a field key are
+// left alone except for operator screening.
+func (e *Engine) translate(collection string, d document.D) (document.D, error) {
+	if d == nil {
+		return nil, nil
+	}
+	e.mu.RLock()
+	aliasMap := e.aliases[collection]
+	e.mu.RUnlock()
+	out, err := e.translateMap(aliasMap, map[string]any(d), true)
+	if err != nil {
+		return nil, err
+	}
+	return document.D(out), nil
+}
+
+func (e *Engine) translateMap(aliasMap map[string]string, m map[string]any, fieldPosition bool) (map[string]any, error) {
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		if strings.HasPrefix(k, "$") {
+			if e.deniedOps[k] {
+				return nil, fmt.Errorf("queryengine: operator %s is not permitted", k)
+			}
+			switch k {
+			case "$and", "$or", "$nor":
+				arr, ok := v.([]any)
+				if !ok {
+					out[k] = v
+					continue
+				}
+				newArr := make([]any, len(arr))
+				for i, el := range arr {
+					if sub, ok := el.(map[string]any); ok {
+						t, err := e.translateMap(aliasMap, sub, true)
+						if err != nil {
+							return nil, err
+						}
+						newArr[i] = t
+					} else {
+						newArr[i] = el
+					}
+				}
+				out[k] = newArr
+			default:
+				// Operator argument: screen nested operators but keep
+				// values (and do not alias inside values).
+				if sub, ok := v.(map[string]any); ok {
+					t, err := e.translateMap(aliasMap, sub, false)
+					if err != nil {
+						return nil, err
+					}
+					out[k] = t
+				} else {
+					out[k] = v
+				}
+			}
+			continue
+		}
+		key := k
+		if fieldPosition && aliasMap != nil {
+			if phys, ok := aliasMap[k]; ok {
+				key = phys
+			} else if head, rest, found := strings.Cut(k, "."); found {
+				if phys, ok := aliasMap[head]; ok {
+					key = phys + "." + rest
+				}
+			}
+		}
+		// Field values may contain operator documents ({$gte: ...}) or, in
+		// updates, field->value maps ({$set: {alias: v}}).
+		if sub, ok := v.(map[string]any); ok {
+			// Update-operator bodies are field maps: keys there are field
+			// names, so keep fieldPosition for them when the parent key is
+			// an update operator. We detect that in translate via
+			// TranslateUpdate instead; here treat as operator body.
+			t, err := e.translateMap(aliasMap, sub, false)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = t
+		} else {
+			out[key] = v
+		}
+	}
+	return out, nil
+}
+
+// translateUpdate rewrites aliases inside update-operator bodies
+// ({$set: {energy: 1}} -> {$set: {"output.final_energy": 1}}).
+func (e *Engine) translateUpdate(collection string, u document.D) (document.D, error) {
+	if u == nil {
+		return nil, nil
+	}
+	e.mu.RLock()
+	aliasMap := e.aliases[collection]
+	e.mu.RUnlock()
+	out := make(document.D, len(u))
+	for op, body := range u {
+		if !strings.HasPrefix(op, "$") {
+			// Replacement document: alias its top-level keys.
+			key := op
+			if aliasMap != nil {
+				if phys, ok := aliasMap[op]; ok {
+					key = phys
+				}
+			}
+			out[key] = body
+			continue
+		}
+		if e.deniedOps[op] {
+			return nil, fmt.Errorf("queryengine: operator %s is not permitted", op)
+		}
+		m, ok := body.(map[string]any)
+		if !ok {
+			if d, isD := body.(document.D); isD {
+				m = map[string]any(d)
+				ok = true
+			}
+		}
+		if !ok {
+			out[op] = body
+			continue
+		}
+		newBody := make(map[string]any, len(m))
+		for field, v := range m {
+			key := field
+			if aliasMap != nil {
+				if phys, okA := aliasMap[field]; okA {
+					key = phys
+				} else if head, rest, found := strings.Cut(field, "."); found {
+					if phys, okA := aliasMap[head]; okA {
+						key = phys + "." + rest
+					}
+				}
+			}
+			newBody[key] = v
+		}
+		out[op] = newBody
+	}
+	return out, nil
+}
+
+// ErrRateLimited is returned when a user exceeds their query budget.
+var ErrRateLimited = fmt.Errorf("queryengine: rate limit exceeded")
+
+// checkRate charges one query to user, if limiting is enabled.
+func (e *Engine) checkRate(user string) error {
+	if e.limiter == nil || user == "" {
+		return nil
+	}
+	if !e.limiter.Allow(user) {
+		return ErrRateLimited
+	}
+	return nil
+}
+
+// Find runs a sanitized, alias-translated query for a user.
+func (e *Engine) Find(user, collection string, filter document.D, opts *datastore.FindOpts) ([]document.D, error) {
+	if err := e.checkRate(user); err != nil {
+		return nil, err
+	}
+	f, err := e.translate(collection, document.NormalizeDoc(filter))
+	if err != nil {
+		return nil, err
+	}
+	var o *datastore.FindOpts
+	if opts != nil {
+		copyOpts := *opts
+		p, err := e.translate(collection, document.NormalizeDoc(opts.Projection))
+		if err != nil {
+			return nil, err
+		}
+		copyOpts.Projection = p
+		copyOpts.Sort = e.translateSort(collection, opts.Sort)
+		o = &copyOpts
+	}
+	return e.store.C(e.physical(collection)).FindAll(f, o)
+}
+
+func (e *Engine) translateSort(collection string, sortSpec []string) []string {
+	e.mu.RLock()
+	aliasMap := e.aliases[collection]
+	e.mu.RUnlock()
+	if aliasMap == nil {
+		return sortSpec
+	}
+	out := make([]string, len(sortSpec))
+	for i, s := range sortSpec {
+		neg := strings.HasPrefix(s, "-")
+		name := strings.TrimPrefix(s, "-")
+		if phys, ok := aliasMap[name]; ok {
+			name = phys
+		}
+		if neg {
+			name = "-" + name
+		}
+		out[i] = name
+	}
+	return out
+}
+
+// FindOne returns the first match or datastore.ErrNotFound.
+func (e *Engine) FindOne(user, collection string, filter document.D, opts *datastore.FindOpts) (document.D, error) {
+	o := datastore.FindOpts{Limit: 1}
+	if opts != nil {
+		o = *opts
+		o.Limit = 1
+	}
+	docs, err := e.Find(user, collection, filter, &o)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, datastore.ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// Count counts matching documents.
+func (e *Engine) Count(user, collection string, filter document.D) (int, error) {
+	if err := e.checkRate(user); err != nil {
+		return 0, err
+	}
+	f, err := e.translate(collection, document.NormalizeDoc(filter))
+	if err != nil {
+		return 0, err
+	}
+	return e.store.C(e.physical(collection)).Count(f)
+}
+
+// Distinct lists distinct values of a (possibly aliased) field.
+func (e *Engine) Distinct(user, collection, field string, filter document.D) ([]any, error) {
+	if err := e.checkRate(user); err != nil {
+		return nil, err
+	}
+	f, err := e.translate(collection, document.NormalizeDoc(filter))
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	if m := e.aliases[collection]; m != nil {
+		if phys, ok := m[field]; ok {
+			field = phys
+		}
+	}
+	e.mu.RUnlock()
+	return e.store.C(e.physical(collection)).Distinct(field, f)
+}
+
+// Update applies a sanitized update; many selects UpdateMany.
+func (e *Engine) Update(user, collection string, filter, update document.D, many bool) (datastore.UpdateResult, error) {
+	if err := e.checkRate(user); err != nil {
+		return datastore.UpdateResult{}, err
+	}
+	f, err := e.translate(collection, document.NormalizeDoc(filter))
+	if err != nil {
+		return datastore.UpdateResult{}, err
+	}
+	u, err := e.translateUpdate(collection, document.NormalizeDoc(update))
+	if err != nil {
+		return datastore.UpdateResult{}, err
+	}
+	c := e.store.C(e.physical(collection))
+	if many {
+		return c.UpdateMany(f, u)
+	}
+	return c.UpdateOne(f, u)
+}
+
+// Insert stores a document (top-level alias keys are translated).
+func (e *Engine) Insert(user, collection string, doc document.D) (string, error) {
+	if err := e.checkRate(user); err != nil {
+		return "", err
+	}
+	d := document.NormalizeDoc(doc)
+	e.mu.RLock()
+	aliasMap := e.aliases[collection]
+	e.mu.RUnlock()
+	if aliasMap != nil {
+		for alias, phys := range aliasMap {
+			if v, ok := d[alias]; ok {
+				delete(d, alias)
+				if err := d.Set(phys, v); err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+	return e.store.C(e.physical(collection)).Insert(d)
+}
+
+// RateLimiter is a fixed-window per-user counter: up to n operations per
+// interval, resetting at window boundaries.
+type RateLimiter struct {
+	mu       sync.Mutex
+	n        int
+	interval time.Duration
+	windows  map[string]*window
+	now      func() time.Time
+}
+
+type window struct {
+	start time.Time
+	count int
+}
+
+// NewRateLimiter allows n operations per interval per user.
+func NewRateLimiter(n int, interval time.Duration) *RateLimiter {
+	return &RateLimiter{n: n, interval: interval, windows: make(map[string]*window), now: time.Now}
+}
+
+// SetClock overrides the limiter's time source (tests).
+func (r *RateLimiter) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+// Allow charges one operation to user, reporting whether it is within
+// budget.
+func (r *RateLimiter) Allow(user string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	w, ok := r.windows[user]
+	if !ok || now.Sub(w.start) >= r.interval {
+		w = &window{start: now}
+		r.windows[user] = w
+	}
+	if w.count >= r.n {
+		return false
+	}
+	w.count++
+	return true
+}

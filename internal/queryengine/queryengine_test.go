@@ -1,0 +1,230 @@
+package queryengine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func doc(s string) document.D { return document.MustFromJSON(s) }
+
+func newEngine(t *testing.T, opts ...Option) (*Engine, *datastore.Store) {
+	t.Helper()
+	s := datastore.MustOpenMemory()
+	e := New(s, opts...)
+	c := s.C("materials")
+	rows := []string{
+		`{"_id": "m1", "pretty_formula": "Fe2O3", "output": {"final_energy": -8.1}, "elements": ["Fe", "O"]}`,
+		`{"_id": "m2", "pretty_formula": "LiFePO4", "output": {"final_energy": -12.2}, "elements": ["Li", "Fe", "P", "O"]}`,
+		`{"_id": "m3", "pretty_formula": "NaCl", "output": {"final_energy": -3.4}, "elements": ["Na", "Cl"]}`,
+	}
+	for _, r := range rows {
+		if _, err := c.Insert(doc(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AddAlias("materials", "energy", "output.final_energy")
+	e.AddAlias("materials", "formula", "pretty_formula")
+	return e, s
+}
+
+func TestAliasInFilter(t *testing.T) {
+	e, _ := newEngine(t)
+	got, err := e.Find("u", "materials", doc(`{"energy": {"$lt": -10}}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["_id"] != "m2" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAliasWithDottedSuffix(t *testing.T) {
+	e, s := newEngine(t)
+	s.C("materials").UpdateOne(doc(`{"_id": "m1"}`), doc(`{"$set": {"output.bandgap": {"value": 2.1}}}`))
+	e.AddAlias("materials", "out", "output")
+	got, err := e.Find("u", "materials", doc(`{"out.bandgap.value": 2.1}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d", len(got))
+	}
+}
+
+func TestAliasInsideLogicalOperators(t *testing.T) {
+	e, _ := newEngine(t)
+	got, err := e.Find("u", "materials", doc(`{"$or": [{"energy": {"$lt": -10}}, {"formula": "NaCl"}]}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("got %d", len(got))
+	}
+}
+
+func TestAliasInProjectionAndSort(t *testing.T) {
+	e, _ := newEngine(t)
+	got, err := e.Find("u", "materials", nil, &datastore.FindOpts{
+		Projection: doc(`{"energy": 1}`),
+		Sort:       []string{"-energy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d", len(got))
+	}
+	if v, ok := got[0].Get("output.final_energy"); !ok || v != -3.4 {
+		t.Errorf("sorted[0] energy = %v ok=%v", v, ok)
+	}
+	if got[0].Has("pretty_formula") {
+		t.Error("projection leaked")
+	}
+}
+
+func TestCollectionAlias(t *testing.T) {
+	e, s := newEngine(t)
+	e.AliasCollection("mats", "materials")
+	n, err := e.Count("u", "mats", nil)
+	if err != nil || n != 3 {
+		t.Errorf("count via alias = %d err=%v", n, err)
+	}
+	_ = s
+}
+
+func TestDeniedOperators(t *testing.T) {
+	e, _ := newEngine(t, WithDeniedOperator("$regex"))
+	if _, err := e.Find("u", "materials", doc(`{"formula": {"$regex": "^Fe"}}`), nil); err == nil {
+		t.Error("$regex should be denied")
+	}
+	// $where is always denied.
+	if _, err := e.Find("u", "materials", doc(`{"$where": "code"}`), nil); err == nil {
+		t.Error("$where should be denied")
+	}
+	// Nested denial inside $or.
+	if _, err := e.Find("u", "materials", doc(`{"$or": [{"x": {"$regex": "a"}}]}`), nil); err == nil {
+		t.Error("nested denied op should be caught")
+	}
+}
+
+func TestUpdateTranslatesAliases(t *testing.T) {
+	e, s := newEngine(t)
+	res, err := e.Update("u", "materials", doc(`{"formula": "NaCl"}`), doc(`{"$set": {"energy": -5.5}}`), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modified != 1 {
+		t.Errorf("res = %+v", res)
+	}
+	got, _ := s.C("materials").FindID("m3")
+	if v, _ := got.Get("output.final_energy"); v != -5.5 {
+		t.Errorf("energy = %v", v)
+	}
+	// UpdateMany path.
+	res, err = e.Update("u", "materials", nil, doc(`{"$set": {"checked": true}}`), true)
+	if err != nil || res.Modified != 3 {
+		t.Errorf("many res = %+v err=%v", res, err)
+	}
+}
+
+func TestInsertTranslatesAliases(t *testing.T) {
+	e, s := newEngine(t)
+	id, err := e.Insert("u", "materials", doc(`{"formula": "KCl", "energy": -4.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.C("materials").FindID(id)
+	if got["pretty_formula"] != "KCl" {
+		t.Errorf("formula not translated: %v", got)
+	}
+	if v, _ := got.Get("output.final_energy"); v != -4.2 {
+		t.Errorf("energy not translated: %v", got)
+	}
+}
+
+func TestFindOneAndDistinct(t *testing.T) {
+	e, _ := newEngine(t)
+	got, err := e.FindOne("u", "materials", doc(`{"formula": "NaCl"}`), nil)
+	if err != nil || got["_id"] != "m3" {
+		t.Errorf("got %v err %v", got, err)
+	}
+	if _, err := e.FindOne("u", "materials", doc(`{"formula": "None"}`), nil); !errors.Is(err, datastore.ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	vals, err := e.Distinct("u", "materials", "elements", nil)
+	if err != nil || len(vals) != 6 {
+		t.Errorf("distinct = %v err=%v", vals, err)
+	}
+	// Distinct through an alias.
+	es, err := e.Distinct("u", "materials", "energy", nil)
+	if err != nil || len(es) != 3 {
+		t.Errorf("distinct energy = %v err=%v", es, err)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	e, _ := newEngine(t, WithRateLimit(3, time.Minute))
+	for i := 0; i < 3; i++ {
+		if _, err := e.Count("alice", "materials", nil); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if _, err := e.Count("alice", "materials", nil); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("4th query err = %v", err)
+	}
+	// Other users unaffected.
+	if _, err := e.Count("bob", "materials", nil); err != nil {
+		t.Errorf("bob: %v", err)
+	}
+	// Anonymous (empty user) is not limited.
+	if _, err := e.Count("", "materials", nil); err != nil {
+		t.Errorf("anon: %v", err)
+	}
+}
+
+func TestRateLimiterWindowResets(t *testing.T) {
+	rl := NewRateLimiter(2, time.Minute)
+	now := time.Unix(1000, 0)
+	rl.SetClock(func() time.Time { return now })
+	if !rl.Allow("u") || !rl.Allow("u") {
+		t.Fatal("first two should pass")
+	}
+	if rl.Allow("u") {
+		t.Fatal("third should fail")
+	}
+	now = now.Add(time.Minute)
+	if !rl.Allow("u") {
+		t.Error("new window should allow")
+	}
+}
+
+func TestAliasesListing(t *testing.T) {
+	e, _ := newEngine(t)
+	got := e.Aliases("materials")
+	if len(got) != 2 || got[0] != "energy" || got[1] != "formula" {
+		t.Errorf("aliases = %v", got)
+	}
+	if e.Aliases("none") != nil {
+		t.Error("unknown collection aliases should be nil")
+	}
+}
+
+func TestRateLimitAppliesAcrossMethods(t *testing.T) {
+	e, _ := newEngine(t, WithRateLimit(1, time.Minute))
+	if _, err := e.Find("u", "materials", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Distinct("u", "materials", "elements", nil); !errors.Is(err, ErrRateLimited) {
+		t.Error("distinct should be limited")
+	}
+	if _, err := e.Update("u", "materials", nil, doc(`{"$set": {"x": 1}}`), false); !errors.Is(err, ErrRateLimited) {
+		t.Error("update should be limited")
+	}
+	if _, err := e.Insert("u", "materials", doc(`{"x": 1}`)); !errors.Is(err, ErrRateLimited) {
+		t.Error("insert should be limited")
+	}
+}

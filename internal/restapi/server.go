@@ -1,0 +1,347 @@
+package restapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"matproj/internal/crystal"
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/queryengine"
+)
+
+// propertyFields maps API property names to stored material fields.
+var propertyFields = map[string]string{
+	"energy":          "final_energy",
+	"energy_per_atom": "e_per_atom",
+	"band_gap":        "band_gap",
+	"bandgap":         "band_gap",
+	"density":         "density",
+	"structure":       "structure",
+	"formula":         "pretty_formula",
+	"nsites":          "nsites",
+	"nelements":       "nelements",
+	"nelectrons":      "nelectrons",
+	"elements":        "elements",
+	"functional":      "functional",
+}
+
+// Server is the Materials API HTTP handler.
+type Server struct {
+	Engine *queryengine.Engine
+	Auth   *Auth
+	Store  *datastore.Store
+	// MaterialsCollection is the logical collection served (default
+	// "materials").
+	MaterialsCollection string
+	mux                 *http.ServeMux
+}
+
+// NewServer builds the API server over an engine and store.
+func NewServer(engine *queryengine.Engine, auth *Auth, store *datastore.Store) *Server {
+	s := &Server{
+		Engine:              engine,
+		Auth:                auth,
+		Store:               store,
+		MaterialsCollection: "materials",
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /auth/signup", s.handleSignup)
+	mux.HandleFunc("GET /rest/v1/materials/", s.handleMaterials)
+	mux.HandleFunc("POST /rest/v1/query", s.handleQuery)
+	mux.HandleFunc("POST /rest/v1/aggregate", s.handleAggregate)
+	mux.HandleFunc("GET /rest/v1/bandstructure/", s.handleDerived("bandstructures"))
+	mux.HandleFunc("GET /rest/v1/xrd/", s.handleDerived("xrd"))
+	mux.HandleFunc("GET /rest/v1/batteries", s.handleBatteries)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiResponse is the standard envelope.
+type apiResponse struct {
+	Valid    bool   `json:"valid_response"`
+	Error    string `json:"error,omitempty"`
+	Response []any  `json:"response"`
+	NResults int    `json:"num_results"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp apiResponse) {
+	if resp.Response == nil {
+		resp.Response = []any{}
+	}
+	resp.NResults = len(resp.Response)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiResponse{Valid: false, Error: fmt.Sprintf(format, args...)})
+}
+
+// authenticate resolves the API key on a request. Empty email plus false
+// means the response has already been written.
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.Header.Get("X-API-KEY")
+	if key == "" {
+		key = r.URL.Query().Get("API_KEY")
+	}
+	email, ok := s.Auth.Lookup(key)
+	if !ok {
+		writeErr(w, http.StatusUnauthorized, "missing or invalid API key")
+		return "", false
+	}
+	return email, true
+}
+
+func (s *Server) handleSignup(w http.ResponseWriter, r *http.Request) {
+	provider := r.URL.Query().Get("provider")
+	email := r.URL.Query().Get("email")
+	key, err := s.Auth.Signup(provider, email)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true,
+		Response: []any{map[string]any{"api_key": key, "email": email}}})
+}
+
+// handleMaterials serves /rest/v1/materials/{identifier}/vasp[/{property}]
+// — Fig. 4's URI anatomy: preamble, version, application id (identifier),
+// datatype (vasp), property.
+func (s *Server) handleMaterials(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/rest/v1/materials/")
+	parts := strings.Split(strings.Trim(rest, "/"), "/")
+	if len(parts) < 2 || parts[1] != "vasp" {
+		writeErr(w, http.StatusBadRequest, "expected /rest/v1/materials/{id}/vasp[/{property}]")
+		return
+	}
+	identifier := parts[0]
+	property := ""
+	if len(parts) >= 3 {
+		property = parts[2]
+	}
+	filter, err := identifierFilter(identifier)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	docs, err := s.Engine.Find(email, s.MaterialsCollection, filter, nil)
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	if len(docs) == 0 {
+		writeErr(w, http.StatusNotFound, "no materials match %q", identifier)
+		return
+	}
+	var out []any
+	for _, d := range docs {
+		row := map[string]any{"material_id": d["_id"]}
+		if property == "" || property == "all" {
+			for name, field := range propertyFields {
+				if v, ok := d.Get(field); ok {
+					row[name] = v
+				}
+			}
+		} else {
+			field, known := propertyFields[property]
+			if !known {
+				writeErr(w, http.StatusBadRequest, "unknown property %q", property)
+				return
+			}
+			v, ok := d.Get(field)
+			if !ok {
+				continue
+			}
+			row[property] = v
+		}
+		out = append(out, row)
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+// identifierFilter interprets a material identifier: a material id
+// ("mat-..."), a chemical system ("Li-Fe-O"), or a formula ("Fe2O3").
+func identifierFilter(identifier string) (document.D, error) {
+	switch {
+	case strings.HasPrefix(identifier, "mat-"):
+		return document.D{"_id": identifier}, nil
+	case strings.Contains(identifier, "-"):
+		// Chemical-system search: materials whose element set is a subset
+		// of the named system (Li-Fe-O includes Fe-O and elemental Fe
+		// materials, matching the production API's chemsys semantics).
+		var set []any
+		for _, e := range strings.Split(identifier, "-") {
+			if !crystal.IsElement(e) {
+				return nil, fmt.Errorf("restapi: unknown element %q in chemical system", e)
+			}
+			set = append(set, e)
+		}
+		return document.D{
+			"elements": document.D{"$exists": true},
+			"$nor": []any{map[string]any{
+				"elements": map[string]any{"$elemMatch": map[string]any{"$nin": set}},
+			}},
+		}, nil
+	default:
+		comp, err := crystal.ParseFormula(identifier)
+		if err != nil {
+			return nil, fmt.Errorf("restapi: identifier %q is neither id, chemsys, nor formula", identifier)
+		}
+		return document.D{"pretty_formula": comp.Formula()}, nil
+	}
+}
+
+// queryRequest is the POST /rest/v1/query body: criteria in the Mongo
+// query language plus an optional property projection, mirroring the
+// real Materials API's query endpoint.
+type queryRequest struct {
+	Criteria   map[string]any `json:"criteria"`
+	Properties []string       `json:"properties"`
+	Limit      int            `json:"limit"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	opts := &datastore.FindOpts{Limit: req.Limit}
+	if len(req.Properties) > 0 {
+		proj := document.D{}
+		for _, p := range req.Properties {
+			field := p
+			if f, known := propertyFields[p]; known {
+				field = f
+			}
+			proj[field] = 1
+		}
+		opts.Projection = proj
+	}
+	docs, err := s.Engine.Find(email, s.MaterialsCollection, document.D(req.Criteria), opts)
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	out := make([]any, len(docs))
+	for i, d := range docs {
+		out[i] = map[string]any(d)
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+// aggregateRequest is the POST /rest/v1/aggregate body.
+type aggregateRequest struct {
+	Pipeline []map[string]any `json:"pipeline"`
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	var req aggregateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Pipeline) == 0 {
+		writeErr(w, http.StatusBadRequest, "pipeline required")
+		return
+	}
+	stages := make([]document.D, len(req.Pipeline))
+	for i, st := range req.Pipeline {
+		stages[i] = document.D(st)
+	}
+	docs, err := s.Engine.Aggregate(email, s.MaterialsCollection, stages)
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	out := make([]any, len(docs))
+	for i, d := range docs {
+		out[i] = map[string]any(d)
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+// handleDerived serves per-material derived-property collections
+// (bandstructures, xrd) by material id.
+func (s *Server) handleDerived(collection string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		email, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
+		// Path prefixes registered: /rest/v1/bandstructure/, /rest/v1/xrd/
+		// — the singular of the collection name.
+		prefix := "/rest/v1/" + strings.TrimSuffix(collection, "s") + "/"
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, prefix), "/")
+		if id == "" {
+			writeErr(w, http.StatusBadRequest, "material id required")
+			return
+		}
+		docs, err := s.Engine.Find(email, collection, document.D{"material_id": id}, nil)
+		if err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		if len(docs) == 0 {
+			writeErr(w, http.StatusNotFound, "no %s for %q", collection, id)
+			return
+		}
+		out := make([]any, len(docs))
+		for i, d := range docs {
+			out[i] = map[string]any(d)
+		}
+		writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+	}
+}
+
+func (s *Server) handleBatteries(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	filter := document.D{}
+	if ion := r.URL.Query().Get("ion"); ion != "" {
+		filter["working_ion"] = ion
+	}
+	docs, err := s.Engine.Find(email, "batteries", filter, nil)
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	out := make([]any, len(docs))
+	for i, d := range docs {
+		out[i] = map[string]any(d)
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+func (s *Server) writeEngineErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, queryengine.ErrRateLimited):
+		writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
+	case errors.Is(err, datastore.ErrNotFound):
+		writeErr(w, http.StatusNotFound, "not found")
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package sandbox
+
+import (
+	"errors"
+	"testing"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func doc(s string) document.D { return document.MustFromJSON(s) }
+
+func setup(t *testing.T) (*Manager, *datastore.Store) {
+	t.Helper()
+	store := datastore.MustOpenMemory()
+	return New(store, "materials"), store
+}
+
+func TestCreateAndAccess(t *testing.T) {
+	m, _ := setup(t)
+	id, err := m.Create("battery-screen", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanAccess(id, "alice") {
+		t.Error("owner denied")
+	}
+	if m.CanAccess(id, "bob") {
+		t.Error("stranger allowed")
+	}
+	if err := m.AddCollaborator(id, "alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CanAccess(id, "bob") {
+		t.Error("collaborator denied")
+	}
+	// Only the owner can add collaborators.
+	if err := m.AddCollaborator(id, "bob", "carol"); !errors.Is(err, ErrForbidden) {
+		t.Errorf("err = %v", err)
+	}
+	if m.CanAccess("ghost", "alice") {
+		t.Error("missing sandbox accessible")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m, _ := setup(t)
+	if _, err := m.Create("", "alice"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := m.Create("x", ""); err == nil {
+		t.Error("empty owner accepted")
+	}
+}
+
+func TestSubmitAndList(t *testing.T) {
+	m, _ := setup(t)
+	id, _ := m.Create("s", "alice")
+	if _, err := m.Submit(id, "mallory", doc(`{"f": 1}`)); !errors.Is(err, ErrForbidden) {
+		t.Errorf("stranger submit err = %v", err)
+	}
+	docID, err := m.Submit(id, "alice", doc(`{"pretty_formula": "LiX", "final_energy": -3.0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docID == "" {
+		t.Fatal("empty doc id")
+	}
+	docs, err := m.List(id, "alice")
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("list = %v err=%v", docs, err)
+	}
+	if docs[0]["submitted_by"] != "alice" || docs[0]["released"] != false {
+		t.Errorf("doc = %v", docs[0])
+	}
+	if _, err := m.List(id, "eve"); !errors.Is(err, ErrForbidden) {
+		t.Error("stranger list allowed")
+	}
+	// Sandboxes are isolated from each other.
+	id2, _ := m.Create("other", "alice")
+	docs2, _ := m.List(id2, "alice")
+	if len(docs2) != 0 {
+		t.Error("cross-sandbox leak")
+	}
+}
+
+func TestReleaseToPublic(t *testing.T) {
+	m, store := setup(t)
+	id, _ := m.Create("s", "alice")
+	m.AddCollaborator(id, "alice", "bob")
+	docID, _ := m.Submit(id, "bob", doc(`{"pretty_formula": "LiX", "final_energy": -3.0}`))
+
+	// Collaborator may not release; owner may.
+	if _, err := m.Release(id, "bob", docID); !errors.Is(err, ErrForbidden) {
+		t.Errorf("collaborator release err = %v", err)
+	}
+	pubID, err := m.Release(id, "alice", docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := store.C("materials").FindID(pubID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub["pretty_formula"] != "LiX" {
+		t.Errorf("public doc = %v", pub)
+	}
+	if pub.GetString("provenance.user") != "bob" || pub.GetString("provenance.sandbox") != "s" {
+		t.Errorf("provenance = %v", pub.GetDoc("provenance"))
+	}
+	if pub.Has("sandbox_id") || pub.Has("released") {
+		t.Error("sandbox bookkeeping leaked into public doc")
+	}
+	// Double release rejected.
+	if _, err := m.Release(id, "alice", docID); err == nil {
+		t.Error("double release accepted")
+	}
+	// Sandbox copy marked.
+	sb, _ := store.C("sandbox_data").FindID(docID)
+	if sb["released"] != true || sb.GetString("public_id") != pubID {
+		t.Errorf("sandbox copy = %v", sb)
+	}
+}
+
+func TestReleaseWrongSandbox(t *testing.T) {
+	m, _ := setup(t)
+	id1, _ := m.Create("one", "alice")
+	id2, _ := m.Create("two", "alice")
+	docID, _ := m.Submit(id1, "alice", doc(`{"x": 1}`))
+	if _, err := m.Release(id2, "alice", docID); err == nil {
+		t.Error("cross-sandbox release accepted")
+	}
+	if _, err := m.Release("ghost", "alice", docID); err == nil {
+		t.Error("missing sandbox release accepted")
+	}
+	if _, err := m.Release(id1, "alice", "ghost-doc"); err == nil {
+		t.Error("missing doc release accepted")
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	m, store := setup(t)
+	matID, _ := store.C("materials").Insert(doc(`{"pretty_formula": "Fe2O3"}`))
+	if _, err := m.Annotate("ghost", "alice", "hi"); err == nil {
+		t.Error("annotation on missing material accepted")
+	}
+	if _, err := m.Annotate(matID, "alice", ""); err == nil {
+		t.Error("empty annotation accepted")
+	}
+	m.Annotate(matID, "alice", "synthesized at 700K")
+	m.Annotate(matID, "bob", "see also icsd-422")
+	notes, err := m.Annotations(matID)
+	if err != nil || len(notes) != 2 {
+		t.Fatalf("notes = %v err=%v", notes, err)
+	}
+	if notes[0].GetString("user") != "alice" {
+		t.Errorf("first note = %v", notes[0])
+	}
+}

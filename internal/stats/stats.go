@@ -1,0 +1,169 @@
+// Package stats provides the small statistical toolkit used to render
+// the paper's Fig. 5: latency histograms with logarithmic buckets,
+// percentiles, and text rendering for terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram buckets values logarithmically between Min and Max.
+type Histogram struct {
+	Min, Max float64 // bucket range (values clamp into the edge buckets)
+	Counts   []int
+	n        int
+	sum      float64
+	values   []float64
+}
+
+// NewHistogram creates a histogram with the given number of logarithmic
+// buckets spanning [min, max]. Values outside clamp to the edge buckets.
+func NewHistogram(min, max float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if min <= 0 {
+		min = 1e-9
+	}
+	if max <= min {
+		max = min * 10
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, buckets)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	idx := h.bucketOf(v)
+	h.Counts[idx]++
+	h.n++
+	h.sum += v
+	h.values = append(h.values, v)
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if v <= h.Min {
+		return 0
+	}
+	if v >= h.Max {
+		return len(h.Counts) - 1
+	}
+	f := (math.Log(v) - math.Log(h.Min)) / (math.Log(h.Max) - math.Log(h.Min))
+	idx := int(f * float64(len(h.Counts)))
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	return idx
+}
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	logMin, logMax := math.Log(h.Min), math.Log(h.Max)
+	step := (logMax - logMin) / float64(len(h.Counts))
+	return math.Exp(logMin + float64(i)*step), math.Exp(logMin + float64(i+1)*step)
+}
+
+// N returns the number of recorded values.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Percentile returns the p-th percentile (0-100) of recorded values.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), h.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Render draws an ASCII histogram, one row per bucket, in the spirit of
+// Fig. 5. unit labels the values (e.g. "ms").
+func (h *Histogram) Render(unit string, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%9.2f-%9.2f %s |%-*s| %d\n", lo, hi, unit, width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// DurationsToMillis converts durations to float milliseconds.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Summary holds the headline numbers of a distribution.
+type Summary struct {
+	N                        int
+	Mean, P50, P90, P99, Max float64
+}
+
+// Summarize computes distribution statistics for values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(rank)
+		frac := rank - float64(lo)
+		if lo+1 >= len(sorted) {
+			return sorted[lo]
+		}
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		P50:  pct(50),
+		P90:  pct(90),
+		P99:  pct(99),
+		Max:  sorted[len(sorted)-1],
+	}
+}

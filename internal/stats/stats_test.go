@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 1000, 3) // decades: [1,10), [10,100), [100,1000]
+	for _, v := range []float64{2, 5, 20, 200, 999} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	lo, hi := h.BucketBounds(1)
+	if math.Abs(lo-10) > 1e-9 || math.Abs(hi-100) > 1e-9 {
+		t.Errorf("bounds = %v, %v", lo, hi)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(1, 100, 2)
+	h.Add(0.001)
+	h.Add(1e9)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	// Degenerate constructors clamp.
+	h2 := NewHistogram(-5, -10, 0)
+	h2.Add(1)
+	if h2.N() != 1 {
+		t.Error("degenerate histogram unusable")
+	}
+}
+
+func TestMeanPercentile(t *testing.T) {
+	h := NewHistogram(1, 1000, 10)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if p := h.Percentile(50); math.Abs(p-50.5) > 1 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Errorf("p100 = %v", p)
+	}
+	empty := NewHistogram(1, 10, 2)
+	if empty.Mean() != 0 || empty.Percentile(50) != 0 {
+		t.Error("empty stats nonzero")
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram(1, 100, 4)
+	for i := 0; i < 50; i++ {
+		h.Add(5)
+	}
+	h.Add(50)
+	out := h.Render("ms", 40)
+	if !strings.Contains(out, "#") {
+		t.Error("no bars rendered")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("rows:\n%s", out)
+	}
+	// Tiny width clamps.
+	if h.Render("ms", 1) == "" {
+		t.Error("clamped render empty")
+	}
+}
+
+func TestDurationsToMillis(t *testing.T) {
+	out := DurationsToMillis([]time.Duration{time.Second, 250 * time.Microsecond})
+	if out[0] != 1000 || out[1] != 0.25 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Mean != 22 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 3 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Error("percentiles not monotone")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary nonzero")
+	}
+}
+
+func TestQuickHistogramCountsSumToN(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(0.1, 1e6, 12)
+		for _, v := range vals {
+			h.Add(math.Abs(v))
+		}
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(vals) && h.N() == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(1, 100, 4)
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			v = math.Abs(v)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return true
+			}
+			h.Add(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		got := h.Percentile(float64(p % 101))
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package webload generates and replays the synthetic web-query workload
+// behind the Fig. 5 reproduction: a deterministic mix of the query shapes
+// the Materials Project portal served (formula lookups, element-set
+// searches, property range scans, paginated browses), replayed against
+// the store through the QueryEngine with latencies recorded per query.
+package webload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/queryengine"
+)
+
+// QueryKind labels the workload mix components.
+type QueryKind string
+
+// Workload query kinds.
+const (
+	KindFormula  QueryKind = "formula"  // exact formula lookup
+	KindElements QueryKind = "elements" // $all element-set search
+	KindRange    QueryKind = "range"    // property range scan
+	KindBrowse   QueryKind = "browse"   // paginated sorted browse
+	KindCount    QueryKind = "count"    // summary count
+)
+
+// Query is one synthetic request.
+type Query struct {
+	Kind   QueryKind
+	User   string
+	Filter document.D
+	Opts   *datastore.FindOpts
+}
+
+// Generator produces a deterministic query stream over a materials
+// corpus.
+type Generator struct {
+	rng      *rand.Rand
+	formulas []string
+	elements []string
+	users    []string
+}
+
+// NewGenerator samples vocabulary (formulas, element symbols) from the
+// materials collection so generated queries hit real data.
+func NewGenerator(seed int64, materials *datastore.Collection) (*Generator, error) {
+	formulasAny, err := materials.Distinct("pretty_formula", nil)
+	if err != nil {
+		return nil, err
+	}
+	elementsAny, err := materials.Distinct("elements", nil)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed))}
+	for _, f := range formulasAny {
+		if s, ok := f.(string); ok {
+			g.formulas = append(g.formulas, s)
+		}
+	}
+	for _, e := range elementsAny {
+		if s, ok := e.(string); ok {
+			g.elements = append(g.elements, s)
+		}
+	}
+	if len(g.formulas) == 0 || len(g.elements) == 0 {
+		return nil, fmt.Errorf("webload: materials collection too sparse to sample a workload")
+	}
+	for i := 0; i < 40; i++ {
+		g.users = append(g.users, fmt.Sprintf("user%02d", i))
+	}
+	return g, nil
+}
+
+// Next produces the next query. The mix loosely follows an interactive
+// portal: mostly precise lookups, some broader scans.
+func (g *Generator) Next() Query {
+	user := g.users[g.rng.Intn(len(g.users))]
+	switch p := g.rng.Float64(); {
+	case p < 0.35:
+		return Query{Kind: KindFormula, User: user,
+			Filter: document.D{"pretty_formula": g.formulas[g.rng.Intn(len(g.formulas))]}}
+	case p < 0.6:
+		n := 1 + g.rng.Intn(2)
+		set := make([]any, 0, n)
+		seen := map[string]bool{}
+		for len(set) < n {
+			e := g.elements[g.rng.Intn(len(g.elements))]
+			if !seen[e] {
+				seen[e] = true
+				set = append(set, e)
+			}
+		}
+		return Query{Kind: KindElements, User: user,
+			Filter: document.D{"elements": document.D{"$all": set}}}
+	case p < 0.8:
+		lo := g.rng.Float64() * 3
+		return Query{Kind: KindRange, User: user,
+			Filter: document.D{"band_gap": document.D{"$gte": lo, "$lt": lo + 1.5}}}
+	case p < 0.93:
+		return Query{Kind: KindBrowse, User: user,
+			Opts: &datastore.FindOpts{Sort: []string{"e_per_atom"}, Skip: g.rng.Intn(50), Limit: 20}}
+	default:
+		return Query{Kind: KindCount, User: user,
+			Filter: document.D{"nelectrons": document.D{"$lte": float64(50 + g.rng.Intn(300))}}}
+	}
+}
+
+// Sample is one replayed query's measurement.
+type Sample struct {
+	Kind     QueryKind
+	Latency  time.Duration
+	Returned int
+	Seq      int
+}
+
+// Replay runs n queries through the engine against the named collection,
+// returning per-query samples. Distinct-user accounting matches the
+// paper's weekly "3315 distinct queries returning 12,951,099 records"
+// bookkeeping: the second return is total records returned.
+func Replay(g *Generator, eng *queryengine.Engine, collection string, n int) ([]Sample, int, error) {
+	samples := make([]Sample, 0, n)
+	totalRecords := 0
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		start := time.Now()
+		var returned int
+		switch q.Kind {
+		case KindCount:
+			c, err := eng.Count(q.User, collection, q.Filter)
+			if err != nil {
+				return samples, totalRecords, err
+			}
+			returned = c
+		default:
+			docs, err := eng.Find(q.User, collection, q.Filter, q.Opts)
+			if err != nil {
+				return samples, totalRecords, err
+			}
+			returned = len(docs)
+		}
+		samples = append(samples, Sample{
+			Kind:     q.Kind,
+			Latency:  time.Since(start),
+			Returned: returned,
+			Seq:      i,
+		})
+		totalRecords += returned
+	}
+	return samples, totalRecords, nil
+}

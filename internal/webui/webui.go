@@ -1,0 +1,338 @@
+// Package webui implements the web portal of §III-D1: a server-rendered
+// HTML interface over the same datastore the API serves, with a search
+// page (formula, element, and band-gap criteria) and per-material detail
+// pages that render band structures and diffraction patterns as inline
+// SVG — the stand-in for the production portal's "pan and zoom real-time
+// visualizations of bandstructures, diffraction patterns, and other
+// properties".
+package webui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/queryengine"
+	"matproj/internal/sandbox"
+)
+
+// Server renders the portal.
+type Server struct {
+	Engine  *queryengine.Engine
+	Store   *datastore.Store
+	Sandbox *sandbox.Manager
+	mux     *http.ServeMux
+	tpl     *template.Template
+}
+
+// NewServer wires the portal to a deployment.
+func NewServer(engine *queryengine.Engine, store *datastore.Store) *Server {
+	s := &Server{
+		Engine:  engine,
+		Store:   store,
+		Sandbox: sandbox.New(store, "materials"),
+		tpl:     template.Must(template.New("ui").Parse(pageTemplates)),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleSearch)
+	mux.HandleFunc("GET /material/", s.handleMaterial)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// searchPage is the template context for the search view.
+type searchPage struct {
+	Query    string
+	Elements string
+	GapMin   string
+	GapMax   string
+	Results  []searchRow
+	Total    int
+	Error    string
+}
+
+type searchRow struct {
+	ID       string
+	Formula  string
+	Elements string
+	Gap      string
+	EPerAtom string
+	Density  string
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	page := searchPage{
+		Query:    strings.TrimSpace(r.URL.Query().Get("formula")),
+		Elements: strings.TrimSpace(r.URL.Query().Get("elements")),
+		GapMin:   strings.TrimSpace(r.URL.Query().Get("gap_min")),
+		GapMax:   strings.TrimSpace(r.URL.Query().Get("gap_max")),
+	}
+	filter := document.D{}
+	if page.Query != "" {
+		filter["pretty_formula"] = page.Query
+	}
+	if page.Elements != "" {
+		var set []any
+		for _, e := range strings.Split(page.Elements, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				set = append(set, e)
+			}
+		}
+		if len(set) > 0 {
+			filter["elements"] = document.D{"$all": set}
+		}
+	}
+	gapCond := document.D{}
+	if page.GapMin != "" {
+		if v, err := strconv.ParseFloat(page.GapMin, 64); err == nil {
+			gapCond["$gte"] = v
+		} else {
+			page.Error = "band gap bounds must be numbers"
+		}
+	}
+	if page.GapMax != "" {
+		if v, err := strconv.ParseFloat(page.GapMax, 64); err == nil {
+			gapCond["$lte"] = v
+		} else {
+			page.Error = "band gap bounds must be numbers"
+		}
+	}
+	if len(gapCond) > 0 {
+		filter["band_gap"] = gapCond
+	}
+	if page.Error == "" {
+		docs, err := s.Engine.Find("webui", "materials", filter,
+			&datastore.FindOpts{Sort: []string{"pretty_formula"}, Limit: 50})
+		if err != nil {
+			page.Error = err.Error()
+		} else {
+			page.Total = len(docs)
+			for _, d := range docs {
+				page.Results = append(page.Results, searchRow{
+					ID:       d.GetString("_id"),
+					Formula:  d.GetString("pretty_formula"),
+					Elements: joinElements(d.GetArray("elements")),
+					Gap:      fmtFloat(d, "band_gap"),
+					EPerAtom: fmtFloat(d, "e_per_atom"),
+					Density:  fmtFloat(d, "density"),
+				})
+			}
+		}
+	}
+	s.render(w, "search", page)
+}
+
+// materialPage is the template context for the detail view.
+type materialPage struct {
+	ID          string
+	Formula     string
+	Properties  []kv
+	BandSVG     template.HTML
+	XRDSVG      template.HTML
+	Annotations []noteRow
+	Error       string
+}
+
+type kv struct{ K, V string }
+
+type noteRow struct{ User, Text string }
+
+func (s *Server) handleMaterial(w http.ResponseWriter, r *http.Request) {
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/material/"), "/")
+	if id == "" {
+		http.Error(w, "material id required", http.StatusBadRequest)
+		return
+	}
+	mat, err := s.Store.C("materials").FindID(id)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	page := materialPage{ID: id, Formula: mat.GetString("pretty_formula")}
+	for _, f := range []struct{ label, field string }{
+		{"Final energy (eV)", "final_energy"},
+		{"Energy per atom (eV)", "e_per_atom"},
+		{"Band gap (eV)", "band_gap"},
+		{"Density (g/cm³)", "density"},
+		{"Sites", "nsites"},
+		{"Functional", "functional"},
+		{"Formation energy (eV/atom)", "formation_energy_per_atom"},
+		{"E above hull (eV/atom)", "e_above_hull"},
+		{"Stable", "is_stable"},
+	} {
+		if v, ok := mat.Get(f.field); ok {
+			page.Properties = append(page.Properties, kv{f.label, fmt.Sprint(v)})
+		}
+	}
+	if bs, err := s.Store.C("bandstructures").FindOne(document.D{"material_id": id}, nil); err == nil {
+		page.BandSVG = template.HTML(bandSVG(bs))
+	}
+	if x, err := s.Store.C("xrd").FindOne(document.D{"material_id": id}, nil); err == nil {
+		page.XRDSVG = template.HTML(xrdSVG(x))
+	}
+	if notes, err := s.Sandbox.Annotations(id); err == nil {
+		for _, n := range notes {
+			page.Annotations = append(page.Annotations, noteRow{
+				User: n.GetString("user"), Text: n.GetString("text"),
+			})
+		}
+	}
+	s.render(w, "material", page)
+}
+
+func (s *Server) render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tpl.ExecuteTemplate(w, name, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func joinElements(els []any) string {
+	parts := make([]string, 0, len(els))
+	for _, e := range els {
+		if s, ok := e.(string); ok {
+			parts = append(parts, s)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func fmtFloat(d document.D, field string) string {
+	v, ok := d.GetFloat(field)
+	if !ok {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// bandSVG renders a band-structure document as an inline SVG plot.
+func bandSVG(bs document.D) string {
+	bands := bs.GetArray("bands")
+	if len(bands) == 0 {
+		return ""
+	}
+	const w, h = 420, 260
+	minE, maxE := 1e18, -1e18
+	series := make([][]float64, 0, len(bands))
+	for _, bandAny := range bands {
+		arr, ok := bandAny.([]any)
+		if !ok || len(arr) == 0 {
+			continue
+		}
+		band := make([]float64, len(arr))
+		for i, v := range arr {
+			f, _ := document.AsFloat(v)
+			band[i] = f
+			if f < minE {
+				minE = f
+			}
+			if f > maxE {
+				maxE = f
+			}
+		}
+		series = append(series, band)
+	}
+	if maxE <= minE {
+		maxE = minE + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="bands" viewBox="0 0 %d %d" width="%d" height="%d">`, w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#fafafa" stroke="#ccc"/>`, w, h)
+	for _, band := range series {
+		b.WriteString(`<polyline fill="none" stroke="#2b6cb0" stroke-width="1.5" points="`)
+		for i, e := range band {
+			x := float64(i) / float64(max(len(band)-1, 1)) * (w - 20) // margin
+			y := h - 10 - (e-minE)/(maxE-minE)*(h-20)
+			fmt.Fprintf(&b, "%.1f,%.1f ", x+10, y)
+		}
+		b.WriteString(`"/>`)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// xrdSVG renders a diffraction pattern as an SVG stick plot.
+func xrdSVG(x document.D) string {
+	peaks := x.GetArray("peaks")
+	if len(peaks) == 0 {
+		return ""
+	}
+	const w, h = 420, 200
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="xrd" viewBox="0 0 %d %d" width="%d" height="%d">`, w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#fafafa" stroke="#ccc"/>`, w, h)
+	for _, pAny := range peaks {
+		p, ok := pAny.(map[string]any)
+		if !ok {
+			continue
+		}
+		pd := document.D(p)
+		tt, _ := pd.GetFloat("two_theta")
+		inten, _ := pd.GetFloat("intensity")
+		px := tt / 90 * (w - 20)
+		ph := inten / 100 * (h - 20)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#c53030" stroke-width="2"/>`,
+			px+10, h-10, px+10, float64(h)-10-ph)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pageTemplates holds both views. The styling is intentionally minimal;
+// the production portal's AJAX/HTML5 interactivity is out of scope, but
+// the information architecture (search → material detail with property
+// visualizations) matches.
+const pageTemplates = `
+{{define "search"}}<!DOCTYPE html>
+<html><head><title>Materials Explorer</title></head>
+<body>
+<h1>Materials Explorer</h1>
+<form method="get" action="/">
+  <label>Formula <input name="formula" value="{{.Query}}"></label>
+  <label>Elements (comma-sep) <input name="elements" value="{{.Elements}}"></label>
+  <label>Gap ≥ <input name="gap_min" size="5" value="{{.GapMin}}"></label>
+  <label>Gap ≤ <input name="gap_max" size="5" value="{{.GapMax}}"></label>
+  <button type="submit">Search</button>
+</form>
+{{if .Error}}<p class="error">{{.Error}}</p>{{end}}
+<p>{{.Total}} materials</p>
+<table border="1">
+<tr><th>Material</th><th>Formula</th><th>Elements</th><th>Gap (eV)</th><th>E/atom (eV)</th><th>Density</th></tr>
+{{range .Results}}
+<tr><td><a href="/material/{{.ID}}">{{.ID}}</a></td><td>{{.Formula}}</td><td>{{.Elements}}</td><td>{{.Gap}}</td><td>{{.EPerAtom}}</td><td>{{.Density}}</td></tr>
+{{end}}
+</table>
+</body></html>{{end}}
+
+{{define "material"}}<!DOCTYPE html>
+<html><head><title>{{.Formula}} — Materials Explorer</title></head>
+<body>
+<p><a href="/">&larr; search</a></p>
+<h1>{{.Formula}} <small>({{.ID}})</small></h1>
+<table border="1">
+{{range .Properties}}<tr><th>{{.K}}</th><td>{{.V}}</td></tr>{{end}}
+</table>
+{{if .BandSVG}}<h2>Band structure</h2>{{.BandSVG}}{{end}}
+{{if .XRDSVG}}<h2>X-ray diffraction</h2>{{.XRDSVG}}{{end}}
+{{if .Annotations}}<h2>Community annotations</h2>
+<ul>{{range .Annotations}}<li><b>{{.User}}</b>: {{.Text}}</li>{{end}}</ul>{{end}}
+</body></html>{{end}}
+`

@@ -1,0 +1,149 @@
+package webui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/queryengine"
+	"matproj/internal/sandbox"
+)
+
+func doc(s string) document.D { return document.MustFromJSON(s) }
+
+func portal(t *testing.T) (*httptest.Server, *datastore.Store) {
+	t.Helper()
+	store := datastore.MustOpenMemory()
+	mats := store.C("materials")
+	rows := []string{
+		`{"_id": "mat-1", "pretty_formula": "Fe2O3", "band_gap": 2.1, "e_per_atom": -1.6, "density": 5.2, "nsites": 5, "functional": "GGA", "elements": ["Fe", "O"]}`,
+		`{"_id": "mat-2", "pretty_formula": "LiFePO4", "band_gap": 3.4, "e_per_atom": -1.7, "density": 3.6, "nsites": 7, "functional": "GGA", "elements": ["Li", "Fe", "P", "O"]}`,
+		`{"_id": "mat-3", "pretty_formula": "NaCl", "band_gap": 5.0, "e_per_atom": -1.4, "density": 2.2, "nsites": 2, "functional": "GGA", "elements": ["Cl", "Na"]}`,
+	}
+	for _, r := range rows {
+		if _, err := mats.Insert(doc(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.C("bandstructures").Insert(doc(`{"material_id": "mat-1", "band_gap": 2.1, "bands": [[-1.0, -0.5, -1.0], [1.1, 1.5, 1.1]]}`))
+	store.C("xrd").Insert(doc(`{"material_id": "mat-1", "peaks": [{"two_theta": 24.1, "intensity": 100.0}, {"two_theta": 33.2, "intensity": 40.0}]}`))
+	srv := httptest.NewServer(NewServer(queryengine.New(store), store))
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestSearchPageListsAll(t *testing.T) {
+	srv, _ := portal(t)
+	status, body := fetch(t, srv.URL+"/")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	for _, want := range []string{"Materials Explorer", "Fe2O3", "LiFePO4", "NaCl", "3 materials"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	if ct := "text/html"; !strings.Contains(body, "<html>") {
+		t.Errorf("not HTML (%s)", ct)
+	}
+}
+
+func TestSearchFilters(t *testing.T) {
+	srv, _ := portal(t)
+	_, body := fetch(t, srv.URL+"/?formula=Fe2O3")
+	if !strings.Contains(body, "1 materials") || strings.Contains(body, "NaCl") {
+		t.Errorf("formula filter broken")
+	}
+	_, body = fetch(t, srv.URL+"/?elements=Li,O")
+	if !strings.Contains(body, "LiFePO4") || strings.Contains(body, "NaCl") {
+		t.Errorf("elements filter broken")
+	}
+	_, body = fetch(t, srv.URL+"/?gap_min=3&gap_max=4")
+	if !strings.Contains(body, "LiFePO4") || strings.Contains(body, "Fe2O3") {
+		t.Errorf("gap filter broken")
+	}
+	_, body = fetch(t, srv.URL+"/?gap_min=abc")
+	if !strings.Contains(body, "must be numbers") {
+		t.Errorf("bad input not reported")
+	}
+}
+
+func TestMaterialDetailRendersSVG(t *testing.T) {
+	srv, store := portal(t)
+	sb := sandbox.New(store, "materials")
+	if _, err := sb.Annotate("mat-1", "bob", "lovely hematite"); err != nil {
+		t.Fatal(err)
+	}
+	status, body := fetch(t, srv.URL+"/material/mat-1")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	for _, want := range []string{
+		"Fe2O3", "Band gap (eV)", "2.1",
+		`<svg class="bands"`, "polyline",
+		`<svg class="xrd"`, "line x1=",
+		"Community annotations", "lovely hematite",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("detail missing %q", want)
+		}
+	}
+}
+
+func TestMaterialDetailWithoutDerived(t *testing.T) {
+	srv, _ := portal(t)
+	status, body := fetch(t, srv.URL+"/material/mat-3")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	if strings.Contains(body, "svg") {
+		t.Error("phantom SVG for material without derived data")
+	}
+	if !strings.Contains(body, "NaCl") {
+		t.Error("detail missing formula")
+	}
+}
+
+func TestMaterialNotFoundAnd404(t *testing.T) {
+	srv, _ := portal(t)
+	status, _ := fetch(t, srv.URL+"/material/ghost")
+	if status != 404 {
+		t.Errorf("ghost status = %d", status)
+	}
+	status, _ = fetch(t, srv.URL+"/material/")
+	if status != 400 {
+		t.Errorf("empty id status = %d", status)
+	}
+	status, _ = fetch(t, srv.URL+"/nonsense/path")
+	if status != 404 {
+		t.Errorf("bad path status = %d", status)
+	}
+}
+
+func TestSearchEscapesHTML(t *testing.T) {
+	srv, store := portal(t)
+	// A hostile formula must be escaped by html/template.
+	store.C("materials").Insert(doc(`{"_id": "mat-x", "pretty_formula": "<script>alert(1)</script>", "band_gap": 1.0, "elements": ["Fe"]}`))
+	_, body := fetch(t, srv.URL+"/")
+	if strings.Contains(body, "<script>alert(1)") {
+		t.Error("XSS: formula not escaped")
+	}
+	if !strings.Contains(body, "&lt;script&gt;") {
+		t.Error("escaped formula missing entirely")
+	}
+}
