@@ -1,0 +1,17 @@
+.PHONY: check test vet build bench
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Full gate: vet + build + race-enabled tests.
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' .

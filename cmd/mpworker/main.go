@@ -4,6 +4,14 @@
 // batch jobs, reporting workflow and cluster statistics.
 //
 //	mpworker -materials 120 -nodes 32 -walltime 12h -data ./mpdata
+//
+// The -chaos-* flags drive the deterministic fault-injection harness:
+// workers crash silently mid-run (recovered by the lease sweep inside
+// the drive loop) and, with -chaos-tear-journal, the durable store's
+// journal tail is torn after the run and the store reopened to prove
+// recovery.
+//
+//	mpworker -data ./mpdata -chaos-crash-rate 0.2 -chaos-tear-journal -chaos-seed 7
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"matproj/internal/datastore"
 	"matproj/internal/dft"
 	"matproj/internal/document"
+	"matproj/internal/faults"
 	"matproj/internal/fireworks"
 	"matproj/internal/hpc"
 	"matproj/internal/icsd"
@@ -29,6 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 2012, "dataset seed")
 	dataDir := flag.String("data", "", "durable store directory (empty = in-memory)")
 	selector := flag.String("selector", "", `optional claim selector as JSON, e.g. {"stage.nelectrons": {"$lte": 200}}`)
+	chaosCrashRate := flag.Float64("chaos-crash-rate", 0, "probability a worker crashes silently mid-run")
+	chaosTear := flag.Bool("chaos-tear-journal", false, "tear the journal tail after the run and reopen (needs -data)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed")
 	flag.Parse()
 
 	store, err := datastore.Open(*dataDir)
@@ -63,6 +75,12 @@ func main() {
 
 	cluster := hpc.NewCluster(*nodes, *queueLimit,
 		hpc.Policy{WorkerOutbound: false, ProxyHost: "mongoproxy01"})
+	var injector *faults.Injector
+	if *chaosCrashRate > 0 || *chaosTear {
+		injector = faults.New(faults.Config{Seed: *chaosSeed, WorkerCrashRate: *chaosCrashRate})
+		cluster.InjectFaults(injector)
+		log.Printf("chaos: seed %d, worker crash rate %.2f", *chaosSeed, *chaosCrashRate)
+	}
 	start := time.Now()
 	jobs, err := fireworks.DriveCluster(pad, fireworks.NewVASPAssembler(store), cluster,
 		"mp_prod", *workers, *walltime, sel)
@@ -72,12 +90,35 @@ func main() {
 	st := cluster.Stats()
 	log.Printf("done in %v real time", time.Since(start).Round(time.Millisecond))
 	log.Printf("batch jobs: %d  virtual makespan: %v", jobs, st.Makespan.Round(time.Minute))
-	log.Printf("tasks done: %d  killed at walltime: %d", st.TasksDone, st.TasksKilled)
+	log.Printf("tasks done: %d  killed at walltime: %d  worker crashes: %d",
+		st.TasksDone, st.TasksKilled, st.WorkerCrashes)
 	nTasks, _ := store.C("tasks").Count(nil)
 	nOK, _ := store.C("tasks").Count(document.D{"state": "successful"})
 	log.Printf("tasks collection: %d documents (%d successful)", nTasks, nOK)
-	for _, state := range []fireworks.State{fireworks.StateCompleted, fireworks.StateDefused} {
+	for _, state := range []fireworks.State{fireworks.StateCompleted, fireworks.StateDefused, fireworks.StateRunning} {
 		n, _ := store.C(fireworks.EnginesCollection).Count(document.D{"state": string(state)})
 		log.Printf("fireworks %s: %d", state, n)
+	}
+
+	if *chaosTear {
+		if *dataDir == "" {
+			log.Fatal("mpworker: -chaos-tear-journal needs -data")
+		}
+		if err := store.Close(); err != nil {
+			log.Fatalf("mpworker: close before tear: %v", err)
+		}
+		cut, err := injector.TearTail(datastore.JournalFile(*dataDir), 64)
+		if err != nil {
+			log.Fatalf("mpworker: tear: %v", err)
+		}
+		log.Printf("chaos: tore %d bytes off the journal tail", cut)
+		reopened, err := datastore.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("mpworker: reopen after tear: %v", err)
+		}
+		defer reopened.Close()
+		rec := reopened.Recovery()
+		log.Printf("recovery: snapshot=%d journal=%d dropped=%d truncated=%dB repaired=%v",
+			rec.SnapshotRecords, rec.JournalRecords, rec.DroppedRecords, rec.TruncatedBytes, rec.Repaired)
 	}
 }

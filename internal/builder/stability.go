@@ -1,0 +1,111 @@
+package builder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"matproj/internal/analysis"
+	"matproj/internal/crystal"
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// StabilityBuilder annotates every material with its thermodynamic
+// stability: formation energy per atom and energy above the convex hull
+// of its chemical system ("to determine the stability and ... synthesis
+// potential of the new materials"). Materials on the hull are marked
+// is_stable.
+type StabilityBuilder struct {
+	Store *datastore.Store
+	// RefEnergy supplies the elemental reference energy per atom
+	// (dft.ElementalEnergy in production).
+	RefEnergy func(symbol string) float64
+}
+
+// Build annotates all materials and returns (annotated, skipped). A
+// material is skipped when its formula cannot be parsed or its hull
+// position cannot be computed.
+func (sb *StabilityBuilder) Build() (int, int, error) {
+	if sb.Store == nil || sb.RefEnergy == nil {
+		return 0, 0, fmt.Errorf("builder: StabilityBuilder needs Store and RefEnergy")
+	}
+	mats := sb.Store.C(MaterialsCollection)
+	docs, err := mats.FindAll(nil, &datastore.FindOpts{Sort: []string{"_id"}})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Group materials into chemical systems; each system gets its own
+	// phase diagram with elemental references synthesized from RefEnergy.
+	type member struct {
+		id    string
+		entry analysis.Entry
+	}
+	systems := map[string][]member{}
+	skipped := 0
+	for _, m := range docs {
+		id, _ := m["_id"].(string)
+		comp, err := crystal.ParseFormula(m.GetString("formula"))
+		if err != nil || comp.NumAtoms() == 0 {
+			skipped++
+			continue
+		}
+		energy, ok := m.GetFloat("final_energy")
+		if !ok {
+			skipped++
+			continue
+		}
+		elems := comp.Elements()
+		sort.Strings(elems)
+		key := strings.Join(elems, "-")
+		systems[key] = append(systems[key], member{
+			id:    id,
+			entry: analysis.Entry{ID: id, Composition: comp, Energy: energy},
+		})
+	}
+
+	annotated := 0
+	keys := make([]string, 0, len(systems))
+	for k := range systems {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		members := systems[key]
+		entries := make([]analysis.Entry, 0, len(members)+4)
+		for _, m := range members {
+			entries = append(entries, m.entry)
+		}
+		for _, el := range strings.Split(key, "-") {
+			entries = append(entries, analysis.Entry{
+				ID:          "ref-" + el,
+				Composition: crystal.Composition{el: 1},
+				Energy:      sb.RefEnergy(el),
+			})
+		}
+		pd, err := analysis.NewPhaseDiagram(entries)
+		if err != nil {
+			skipped += len(members)
+			continue
+		}
+		for _, m := range members {
+			eah, err := pd.EAboveHull(m.entry)
+			if err != nil {
+				skipped++
+				continue
+			}
+			ef := pd.FormationEnergyPerAtom(m.entry)
+			if _, err := mats.UpdateOne(document.D{"_id": m.id},
+				document.D{"$set": document.D{
+					"formation_energy_per_atom": ef,
+					"e_above_hull":              eah,
+					"is_stable":                 eah <= 1e-8,
+				}}); err != nil {
+				return annotated, skipped, err
+			}
+			annotated++
+		}
+	}
+	return annotated, skipped, nil
+}

@@ -2,23 +2,37 @@ package datastore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
+	"time"
 
 	"matproj/internal/document"
 )
 
-// Durability: the store appends every write to a JSON-lines journal. A
-// snapshot rewrites the full contents of every collection into a snapshot
-// file and truncates the journal; on open, the snapshot is loaded and the
-// journal replayed on top. This is deliberately simple — the paper's
-// deployment ran a single mongod whose durability model MP treated as a
-// black box; what matters here is that a store can be shut down and
-// reopened between pipeline stages (e.g. the manual "data loading" step
-// of §IV-C1).
+// Durability: the store appends every write to a checksummed JSON-lines
+// journal. A snapshot atomically rewrites the full contents of every
+// collection into a snapshot file (write-temp, fsync, rename) and
+// truncates the journal; on open, the snapshot is loaded and the journal
+// replayed on top.
+//
+// Crash safety. Each journal line carries a CRC32-C of its payload
+// ("%08x <json>\n"), so a write torn by a crash — a partial line, a
+// missing newline, a line whose checksum does not match — is detected on
+// replay. A torn *tail* (one or more bad lines with no valid record
+// after them) is the expected signature of a crash mid-append: replay
+// truncates the journal back to the last valid record, records what was
+// dropped in RecoveryStats, and the store opens normally. Corruption in
+// the *middle* of the journal (valid records after a bad line) cannot be
+// explained by a torn final write and is reported as an error rather
+// than silently dropping acknowledged history. Lines beginning with '{'
+// are accepted without a checksum for compatibility with journals
+// written before checksumming.
 
 type journalOp string
 
@@ -36,20 +50,96 @@ type journalRecord struct {
 	Doc        json.RawMessage `json:"doc,omitempty"`
 }
 
+// JournalFaults lets a fault injector interfere with journal appends.
+// Implemented by *faults.Injector; declared here so the storage layer
+// stays free of test-harness imports.
+type JournalFaults interface {
+	// DropAppend reports whether the next append should be silently
+	// lost (simulating a crash between acknowledge and write-out).
+	DropAppend() bool
+	// AppendDelay returns how long the next append should stall.
+	AppendDelay() time.Duration
+}
+
 type journal struct {
-	mu   sync.Mutex
-	dir  string
-	file *os.File
-	w    *bufio.Writer
+	mu     sync.Mutex
+	dir    string
+	file   *os.File
+	w      *bufio.Writer
+	faults JournalFaults
+}
+
+// RecoveryStats describes what replay found when a durable store was
+// opened: how much state was recovered and whether the journal tail had
+// to be repaired.
+type RecoveryStats struct {
+	// SnapshotRecords and JournalRecords count the records applied from
+	// each file.
+	SnapshotRecords int
+	JournalRecords  int
+	// DroppedRecords counts torn/corrupt trailing lines discarded
+	// during repair; TruncatedBytes is how far the journal was cut back.
+	DroppedRecords int
+	TruncatedBytes int64
+	// Repaired is true when a torn journal tail was truncated.
+	Repaired bool
 }
 
 func journalPath(dir string) string  { return filepath.Join(dir, "journal.ndjson") }
 func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot.ndjson") }
 
-func openJournal(dir string) (*journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("datastore: create dir: %w", err)
+// JournalFile returns the path of the journal inside a durable store's
+// directory. Exposed for fault-injection harnesses that tear the tail.
+func JournalFile(dir string) string { return journalPath(dir) }
+
+// SnapshotFile returns the path of the snapshot inside a durable
+// store's directory.
+func SnapshotFile(dir string) string { return snapshotPath(dir) }
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeLine frames one journal record: "%08x <json>\n".
+func encodeLine(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = append(out, fmt.Sprintf("%08x ", crc32.Checksum(payload, crcTable))...)
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out
+}
+
+// decodeLine validates and strips the checksum frame. Legacy lines
+// beginning with '{' pass through unchecked.
+func decodeLine(line []byte) ([]byte, error) {
+	if len(line) > 0 && line[0] == '{' {
+		return line, nil
 	}
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("short or unframed line")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad checksum field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, crcTable); got != uint32(want) {
+		return nil, fmt.Errorf("checksum mismatch: %08x != %08x", got, want)
+	}
+	return payload, nil
+}
+
+// openJournalDir prepares dir but does not open the append handle; that
+// happens after replay so a repaired (truncated) journal is not held
+// open across the truncation.
+func openJournalDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("datastore: create dir: %w", err)
+	}
+	return nil
+}
+
+// openAppend opens the append handle once replay (and any tail repair)
+// has finished.
+func openAppend(dir string) (*journal, error) {
 	f, err := os.OpenFile(journalPath(dir), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("datastore: open journal: %w", err)
@@ -68,6 +158,7 @@ func (j *journal) close() error {
 		j.file = nil
 		return err
 	}
+	j.file.Sync()
 	err := j.file.Close()
 	j.file = nil
 	return err
@@ -79,12 +170,19 @@ func (j *journal) append(rec journalRecord) {
 	if j.file == nil {
 		return
 	}
+	if j.faults != nil {
+		if d := j.faults.AppendDelay(); d > 0 {
+			time.Sleep(d)
+		}
+		if j.faults.DropAppend() {
+			return
+		}
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return
 	}
-	j.w.Write(b)
-	j.w.WriteByte('\n')
+	j.w.Write(encodeLine(b))
 	// Flush per record: cheap at our scale and keeps reopen loss-free.
 	j.w.Flush()
 }
@@ -106,66 +204,162 @@ func (j *journal) logDrop(coll string) {
 }
 
 // replay loads the snapshot then re-applies the journal into s. Called
-// before s.journal is set, so replayed writes are not re-journaled.
-func (j *journal) replay(s *Store) error {
-	if err := replayFile(s, snapshotPath(j.dir)); err != nil {
-		return err
+// before s.journal is set, so replayed writes are not re-journaled. The
+// snapshot is written atomically and must be intact; the journal's tail
+// may be torn and is repaired.
+func replay(s *Store, dir string) (RecoveryStats, error) {
+	var stats RecoveryStats
+	n, _, err := replayFile(s, snapshotPath(dir), false)
+	if err != nil {
+		return stats, err
 	}
-	return replayFile(s, journalPath(j.dir))
+	stats.SnapshotRecords = n
+	n, rep, err := replayFile(s, journalPath(dir), true)
+	if err != nil {
+		return stats, err
+	}
+	stats.JournalRecords = n
+	stats.DroppedRecords = rep.dropped
+	stats.TruncatedBytes = rep.truncatedBytes
+	stats.Repaired = rep.repaired
+	return stats, nil
 }
 
-func replayFile(s *Store, path string) error {
+type repairInfo struct {
+	dropped        int
+	truncatedBytes int64
+	repaired       bool
+}
+
+// replayFile applies one snapshot/journal file to s. When repairTail is
+// set, malformed trailing lines (with no valid record after them) are
+// dropped and the file truncated back to the last valid record;
+// malformed lines *followed by* valid records are an error either way.
+func replayFile(s *Store, path string, repairTail bool) (int, repairInfo, error) {
+	var rep repairInfo
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, rep, nil
 		}
-		return fmt.Errorf("datastore: open %s: %w", path, err)
+		return 0, rep, fmt.Errorf("datastore: open %s: %w", path, err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	line := 0
-	for sc.Scan() {
+
+	type badLine struct {
+		line   int
+		offset int64
+		err    error
+	}
+	var (
+		r       = bufio.NewReaderSize(f, 1<<20)
+		offset  int64 // start of the current line
+		goodEnd int64 // end offset of the last valid record
+		line    int
+		applied int
+		bad     []badLine
+	)
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if len(raw) == 0 && rerr != nil {
+			break
+		}
 		line++
-		if len(sc.Bytes()) == 0 {
+		lineStart := offset
+		offset += int64(len(raw))
+		torn := rerr != nil // no trailing newline: partial final write
+		data := bytes.TrimSuffix(raw, []byte("\n"))
+		if len(data) == 0 {
+			if !torn && len(bad) == 0 {
+				goodEnd = offset
+			}
+			if rerr != nil {
+				break
+			}
 			continue
 		}
+		// A torn (newline-less) final line can still be complete — e.g.
+		// only the '\n' itself was lost — so every line gets the same
+		// treatment: accept iff checksum and JSON both decode.
+		payload, derr := decodeLine(data)
 		var rec journalRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return fmt.Errorf("datastore: %s line %d: %w", path, line, err)
+		if derr == nil {
+			derr = json.Unmarshal(payload, &rec)
 		}
-		c := s.C(rec.Collection)
-		switch rec.Op {
-		case journalInsert, journalUpdate:
-			d, err := document.FromJSON(rec.Doc)
-			if err != nil {
-				return fmt.Errorf("datastore: %s line %d: doc: %w", path, line, err)
+		if derr != nil {
+			bad = append(bad, badLine{line: line, offset: lineStart, err: derr})
+			if rerr != nil {
+				break
 			}
-			c.mu.Lock()
-			if _, exists := c.docs[rec.ID]; exists {
-				c.replaceLocked(rec.ID, d)
-			} else {
-				c.insertLocked(rec.ID, d)
-			}
-			c.mu.Unlock()
-		case journalRemove:
-			c.mu.Lock()
-			c.removeLocked(rec.ID)
-			c.mu.Unlock()
-		case journalDrop:
-			s.mu.Lock()
-			delete(s.collections, rec.Collection)
-			s.mu.Unlock()
-		default:
-			return fmt.Errorf("datastore: %s line %d: unknown op %q", path, line, rec.Op)
+			continue
+		}
+		if len(bad) > 0 {
+			f.Close()
+			return applied, rep, fmt.Errorf("datastore: %s line %d: corrupt record followed by valid data (not a torn tail): %v",
+				path, bad[0].line, bad[0].err)
+		}
+		if aerr := applyRecord(s, rec); aerr != nil {
+			f.Close()
+			return applied, rep, fmt.Errorf("datastore: %s line %d: %w", path, line, aerr)
+		}
+		applied++
+		goodEnd = offset
+		if rerr != nil {
+			break
 		}
 	}
-	return sc.Err()
+	f.Close()
+
+	if len(bad) == 0 {
+		return applied, rep, nil
+	}
+	if !repairTail {
+		return applied, rep, fmt.Errorf("datastore: %s line %d: %v", path, bad[0].line, bad[0].err)
+	}
+	// Torn tail: every line after goodEnd is bad. Cut them off.
+	rep.dropped = len(bad)
+	rep.truncatedBytes = offset - goodEnd
+	rep.repaired = true
+	if err := os.Truncate(path, goodEnd); err != nil {
+		return applied, rep, fmt.Errorf("datastore: repair %s: %w", path, err)
+	}
+	return applied, rep, nil
+}
+
+func applyRecord(s *Store, rec journalRecord) error {
+	c := s.C(rec.Collection)
+	switch rec.Op {
+	case journalInsert, journalUpdate:
+		d, err := document.FromJSON(rec.Doc)
+		if err != nil {
+			return fmt.Errorf("doc: %w", err)
+		}
+		c.mu.Lock()
+		if _, exists := c.docs[rec.ID]; exists {
+			c.replaceLocked(rec.ID, d)
+		} else {
+			c.insertLocked(rec.ID, d)
+		}
+		c.mu.Unlock()
+	case journalRemove:
+		c.mu.Lock()
+		c.removeLocked(rec.ID)
+		c.mu.Unlock()
+	case journalDrop:
+		s.mu.Lock()
+		delete(s.collections, rec.Collection)
+		s.mu.Unlock()
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+	return nil
 }
 
 // snapshot serializes every collection to the snapshot file and truncates
-// the journal.
+// the journal. The rotation is atomic and crash-ordered: the temp file is
+// fully written and fsynced before the rename, and the journal is only
+// truncated after the rename lands, so a crash at any point leaves
+// either (old snapshot + full journal) or (new snapshot + journal in
+// some state ≥ empty) — both replayable.
 func (j *journal) snapshot(s *Store) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -175,7 +369,6 @@ func (j *journal) snapshot(s *Store) error {
 		return fmt.Errorf("datastore: snapshot: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
 
 	s.mu.RLock()
 	colls := make([]*Collection, 0, len(s.collections))
@@ -195,16 +388,28 @@ func (j *journal) snapshot(s *Store) error {
 				return fmt.Errorf("datastore: snapshot doc encode: %w", err)
 			}
 			rec := journalRecord{Op: journalInsert, Collection: c.name, ID: id, Doc: b}
-			if err := enc.Encode(rec); err != nil {
+			rb, err := json.Marshal(rec)
+			if err != nil {
 				c.mu.RUnlock()
 				f.Close()
 				os.Remove(tmp)
 				return fmt.Errorf("datastore: snapshot encode: %w", err)
 			}
+			if _, err := w.Write(encodeLine(rb)); err != nil {
+				c.mu.RUnlock()
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
 		}
 		c.mu.RUnlock()
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -216,9 +421,11 @@ func (j *journal) snapshot(s *Store) error {
 	if err := os.Rename(tmp, snapshotPath(j.dir)); err != nil {
 		return err
 	}
+	syncDir(j.dir)
 	// Truncate the journal now that its contents are in the snapshot.
 	if j.file != nil {
 		j.w.Flush()
+		j.file.Sync()
 		j.file.Close()
 	}
 	if err := os.Truncate(journalPath(j.dir), 0); err != nil {
@@ -231,4 +438,15 @@ func (j *journal) snapshot(s *Store) error {
 	j.file = nf
 	j.w = bufio.NewWriter(nf)
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }

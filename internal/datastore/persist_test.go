@@ -114,15 +114,29 @@ func TestMemoryStoreSnapshotNoop(t *testing.T) {
 	}
 }
 
-func TestReplayCorruptJournalFails(t *testing.T) {
+func TestReplayCorruptJournalTailRepaired(t *testing.T) {
+	// A malformed final line with nothing valid after it is a torn
+	// tail: replay truncates it and the store opens.
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte("{not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); err == nil {
-		t.Error("corrupt journal: want error")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail should be repaired, got %v", err)
 	}
-	// Unknown op also fails.
+	rec := s.Recovery()
+	if !rec.Repaired || rec.DroppedRecords != 1 {
+		t.Errorf("recovery stats: %+v", rec)
+	}
+	s.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "journal.ndjson"))
+	if len(data) != 0 {
+		t.Errorf("journal not truncated: %q", data)
+	}
+
+	// A record that decodes but carries an unknown op is real
+	// corruption, not a torn write: still an error.
 	os.WriteFile(filepath.Join(dir, "journal.ndjson"), []byte(`{"op":"zz","c":"x"}`+"\n"), 0o644)
 	if _, err := Open(dir); err == nil {
 		t.Error("unknown op: want error")

@@ -26,27 +26,61 @@ type Store struct {
 	collections map[string]*Collection
 	journal     *journal
 	profiler    *Profiler
+	recovery    RecoveryStats
 }
 
 // Open creates an in-memory store. If dir is non-empty, the store is
 // durable: existing snapshot and journal files in dir are replayed on
-// open, and subsequent writes append to the journal.
+// open (repairing a torn journal tail if the previous process crashed
+// mid-write), and subsequent writes append to the journal. What replay
+// found is available via Recovery.
 func Open(dir string) (*Store, error) {
 	s := &Store{
 		collections: make(map[string]*Collection),
 		profiler:    NewProfiler(4096),
 	}
 	if dir != "" {
-		j, err := openJournal(dir)
+		if err := openJournalDir(dir); err != nil {
+			return nil, err
+		}
+		// Replay (and repair) before opening the append handle so the
+		// handle's offset reflects any tail truncation.
+		stats, err := replay(s, dir)
 		if err != nil {
 			return nil, err
 		}
-		if err := j.replay(s); err != nil {
+		j, err := openAppend(dir)
+		if err != nil {
 			return nil, err
 		}
 		s.journal = j
+		s.recovery = stats
 	}
 	return s, nil
+}
+
+// Recovery reports what replay found when this store was opened: how
+// many records were loaded from snapshot and journal, and whether a
+// torn journal tail was repaired. Zero-valued for memory-only stores.
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recovery
+}
+
+// InjectJournalFaults installs a fault injector on the journal append
+// path (chaos testing). Passing nil removes it. No-op for memory-only
+// stores.
+func (s *Store) InjectJournalFaults(f JournalFaults) {
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.faults = f
+	j.mu.Unlock()
 }
 
 // MustOpenMemory returns an in-memory store, panicking on the (impossible

@@ -1,0 +1,135 @@
+// Package faults is a deterministic fault-injection harness for chaos
+// testing the datastore and the workflow engine. A seeded Injector can
+// crash simulated workers mid-run, drop or delay journal appends, and
+// tear the tail of a journal file the way a power loss mid-write would.
+// Every decision is drawn from one seeded PRNG behind a mutex, so a
+// chaos run is reproducible bit-for-bit from its seed.
+//
+// The package is stdlib-only and dependency-free in both directions:
+// consumers (datastore, hpc) declare their own small interfaces and the
+// Injector satisfies them structurally, so nothing in the storage or
+// simulation layers imports this package's types.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// Config selects which faults fire and how often. All rates are
+// probabilities in [0, 1]; zero disables that fault class.
+type Config struct {
+	// Seed fixes the PRNG. The same Config always produces the same
+	// fault sequence.
+	Seed int64
+	// WorkerCrashRate is the per-run probability that a simulated
+	// worker dies silently partway through a run.
+	WorkerCrashRate float64
+	// DropAppendRate is the per-append probability that a journal
+	// write is silently lost (a dropped fsync / lost page).
+	DropAppendRate float64
+	// DelayRate is the per-operation probability of an injected delay.
+	DelayRate float64
+	// MaxDelay bounds injected delays (default 0 = no delay even when
+	// DelayRate fires).
+	MaxDelay time.Duration
+}
+
+// Stats counts the faults actually injected so far.
+type Stats struct {
+	WorkerCrashes  int
+	DroppedAppends int
+	Delays         int
+	TornTails      int
+}
+
+// Injector draws fault decisions from a single seeded stream.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   Config
+	stats Stats
+}
+
+// New builds an Injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// CrashPoint decides whether the next worker run crashes, and if so at
+// which fraction of the run's duration (uniform in (0, 1)).
+func (in *Injector) CrashPoint() (frac float64, crash bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.WorkerCrashRate <= 0 || in.rng.Float64() >= in.cfg.WorkerCrashRate {
+		return 0, false
+	}
+	in.stats.WorkerCrashes++
+	// Avoid exactly 0 so the crash is always strictly mid-run.
+	f := in.rng.Float64()
+	if f == 0 {
+		f = 0.5
+	}
+	return f, true
+}
+
+// DropAppend decides whether the next journal append is silently lost.
+func (in *Injector) DropAppend() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.DropAppendRate <= 0 || in.rng.Float64() >= in.cfg.DropAppendRate {
+		return false
+	}
+	in.stats.DroppedAppends++
+	return true
+}
+
+// AppendDelay returns how long the next operation should stall (0 for
+// no delay).
+func (in *Injector) AppendDelay() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.DelayRate <= 0 || in.cfg.MaxDelay <= 0 || in.rng.Float64() >= in.cfg.DelayRate {
+		return 0
+	}
+	in.stats.Delays++
+	return time.Duration(in.rng.Int63n(int64(in.cfg.MaxDelay))) + 1
+}
+
+// TearTail truncates between 1 and maxCut bytes off the end of path,
+// simulating a crash that tore the final journal write. It returns how
+// many bytes were cut. maxCut <= 0 defaults to 16. Tearing an empty
+// file is an error: there is no write to tear.
+func (in *Injector) TearTail(path string, maxCut int) (int64, error) {
+	if maxCut <= 0 {
+		maxCut = 16
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() == 0 {
+		return 0, fmt.Errorf("faults: cannot tear empty file %s", path)
+	}
+	in.mu.Lock()
+	cut := int64(in.rng.Intn(maxCut)) + 1
+	in.stats.TornTails++
+	in.mu.Unlock()
+	if cut > fi.Size() {
+		cut = fi.Size()
+	}
+	if err := os.Truncate(path, fi.Size()-cut); err != nil {
+		return 0, err
+	}
+	return cut, nil
+}
+
+// Stats returns a snapshot of the faults injected so far.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDeterministicSequences(t *testing.T) {
+	cfg := Config{Seed: 42, WorkerCrashRate: 0.5, DropAppendRate: 0.3, DelayRate: 0.2, MaxDelay: time.Millisecond}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		fa, ca := a.CrashPoint()
+		fb, cb := b.CrashPoint()
+		if fa != fb || ca != cb {
+			t.Fatalf("CrashPoint diverged at %d: (%v,%v) vs (%v,%v)", i, fa, ca, fb, cb)
+		}
+		if a.DropAppend() != b.DropAppend() {
+			t.Fatalf("DropAppend diverged at %d", i)
+		}
+		if a.AppendDelay() != b.AppendDelay() {
+			t.Fatalf("AppendDelay diverged at %d", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	in := New(Config{Seed: 7, WorkerCrashRate: 0.25})
+	n := 10000
+	for i := 0; i < n; i++ {
+		if f, crash := in.CrashPoint(); crash && (f <= 0 || f >= 1) {
+			t.Fatalf("crash fraction out of (0,1): %v", f)
+		}
+	}
+	got := in.Stats().WorkerCrashes
+	if got < n/5 || got > n/3 {
+		t.Fatalf("crash rate off: %d/%d", got, n)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if _, crash := in.CrashPoint(); crash {
+			t.Fatal("crash with zero rate")
+		}
+		if in.DropAppend() {
+			t.Fatal("drop with zero rate")
+		}
+		if in.AppendDelay() != 0 {
+			t.Fatal("delay with zero rate")
+		}
+	}
+	if in.Stats() != (Stats{}) {
+		t.Fatalf("stats should be zero: %+v", in.Stats())
+	}
+}
+
+func TestTearTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 9})
+	cut, err := in.TearTail(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut < 1 || cut > 4 {
+		t.Fatalf("cut %d outside [1,4]", cut)
+	}
+	data, _ := os.ReadFile(path)
+	if int64(len(data)) != 10-cut {
+		t.Fatalf("file size %d after cutting %d", len(data), cut)
+	}
+	if in.Stats().TornTails != 1 {
+		t.Fatalf("stats: %+v", in.Stats())
+	}
+
+	// Cut larger than the file clamps to emptying it.
+	if _, err := in.TearTail(path, 1000); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if len(data) >= 10 {
+		t.Fatalf("second tear did not shrink: %d", len(data))
+	}
+
+	// Tearing an empty file is an error.
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.TearTail(empty, 4); err == nil {
+		t.Fatal("expected error tearing empty file")
+	}
+}

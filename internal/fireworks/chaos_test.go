@@ -1,0 +1,174 @@
+package fireworks
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/faults"
+	"matproj/internal/hpc"
+)
+
+// End-to-end chaos test: seeded worker crashes tear through a durable
+// deployment mid-run, the journal tail is torn after shutdown, and the
+// system must still converge — every workflow COMPLETED, no firework
+// stuck in RUNNING, the store reopenable.
+
+// sleepAssembler always succeeds after a fixed virtual duration.
+type sleepAssembler struct{ dur time.Duration }
+
+func (a sleepAssembler) Assemble(stage document.D) (*RunOutcome, error) {
+	id := stage.GetString("payload")
+	return &RunOutcome{
+		Duration: a.dur,
+		Result:   document.D{"payload": id, "converged": true},
+	}, nil
+}
+
+func addChaosWorkflows(t *testing.T, pad *LaunchPad, n int) []string {
+	t.Helper()
+	wfIDs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		parent := fmt.Sprintf("fw-chaos-%02d-a", i)
+		child := fmt.Sprintf("fw-chaos-%02d-b", i)
+		wfID, err := pad.AddWorkflow([]Firework{
+			{ID: parent, Stage: document.D{"payload": parent}},
+			{ID: child, Stage: document.D{"payload": child}, Parents: []string{parent}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wfIDs = append(wfIDs, wfID)
+	}
+	return wfIDs
+}
+
+func assertAllCompleted(t *testing.T, pad *LaunchPad, wfIDs []string, label string) {
+	t.Helper()
+	for _, wfID := range wfIDs {
+		states, err := pad.WorkflowStates(wfID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for st, n := range states {
+			if st != StateCompleted && n > 0 {
+				t.Fatalf("%s: workflow %s has %d fireworks in %s", label, wfID, n, st)
+			}
+		}
+	}
+	if n, _ := pad.Store().C(EnginesCollection).Count(document.D{"state": string(StateRunning)}); n != 0 {
+		t.Fatalf("%s: %d fireworks stuck RUNNING", label, n)
+	}
+}
+
+func TestChaosRunConvergesAndSurvivesTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	store, err := datastore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := NewLaunchPad(store, 5)
+	pad.ConfigureLeases(2*3600, 60) // 2h lease, 1min backoff base (virtual)
+	wfIDs := addChaosWorkflows(t, pad, 8)
+
+	injector := faults.New(faults.Config{Seed: 1234, WorkerCrashRate: 0.3})
+	cluster := hpc.NewCluster(4, 0, hpc.Policy{})
+	cluster.InjectFaults(injector)
+
+	// Phase 1: drive the whole load through a crashing cluster. The
+	// sweep inside DriveCluster must reclaim every lost run. Walltime
+	// is ample so the only job deaths are the injected crashes (these
+	// fireworks have no analyzer to rerun a walltime kill).
+	jobs, err := DriveCluster(pad, sleepAssembler{dur: time.Hour}, cluster,
+		"chaos", 4, 1000*time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs == 0 {
+		t.Fatal("no jobs submitted")
+	}
+	st := cluster.Stats()
+	if st.WorkerCrashes == 0 {
+		t.Fatal("chaos run injected no crashes — test is vacuous; change the seed")
+	}
+	assertAllCompleted(t, pad, wfIDs, "after chaos drive")
+	t.Logf("phase 1: %d jobs, %d crashes, makespan %v", jobs, st.WorkerCrashes, st.Makespan)
+
+	// Phase 2: a fresh workflow is claimed and its worker dies for good
+	// (no Complete ever arrives); the process shuts down and the final
+	// journal write is torn.
+	extraWF, err := pad.AddWorkflow([]Firework{{ID: "fw-chaos-victim", Stage: document.D{"payload": "victim"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pad.Claim("doomed-worker", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := injector.TearTail(datastore.JournalFile(dir), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("phase 2: tore %d bytes", cut)
+
+	// Phase 3: reopen. Replay must repair the tail (unless the tear
+	// only removed the trailing newline) and every prior workflow must
+	// still be COMPLETED.
+	store2, err := datastore.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	defer store2.Close()
+	rec := store2.Recovery()
+	if cut > 1 && !rec.Repaired {
+		t.Fatalf("tear of %d bytes not repaired: %+v", cut, rec)
+	}
+	pad2 := NewLaunchPad(store2, 5)
+	assertAllCompleted(t, pad2, wfIDs, "after reopen")
+
+	// The victim is either RUNNING (claim survived the tear) or READY
+	// (claim was the torn record). Lease sweep plus a healthy worker
+	// must finish it either way.
+	clk := &fakeClock{t: 1e9}
+	pad2.SetClock(clk.now)
+	pad2.ConfigureLeases(60, 10)
+	if _, err := pad2.DetectLostRuns(); err != nil {
+		t.Fatal(err)
+	}
+	if at, ok := pad2.NextClaimableAt(); ok && at > clk.t {
+		clk.t = at + 1
+	}
+	r := &Rocket{Pad: pad2, Assembler: sleepAssembler{dur: time.Hour}, WorkerID: "healthy"}
+	if _, err := r.RunLocal(0); err != nil {
+		t.Fatal(err)
+	}
+	assertAllCompleted(t, pad2, append(wfIDs, extraWF), "after recovery")
+}
+
+// TestChaosDeterminism: the same seed must reproduce the same fault
+// sequence and therefore the same final statistics.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() (int, hpc.Stats) {
+		store := datastore.MustOpenMemory()
+		pad := NewLaunchPad(store, 5)
+		pad.ConfigureLeases(2*3600, 60)
+		addChaosWorkflows(t, pad, 6)
+		cluster := hpc.NewCluster(3, 0, hpc.Policy{})
+		cluster.InjectFaults(faults.New(faults.Config{Seed: 99, WorkerCrashRate: 0.35}))
+		jobs, err := DriveCluster(pad, sleepAssembler{dur: 30 * time.Minute}, cluster,
+			"det", 3, 500*time.Hour, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs, cluster.Stats()
+	}
+	j1, s1 := run()
+	j2, s2 := run()
+	if j1 != j2 || s1 != s2 {
+		t.Fatalf("chaos run not deterministic:\n  %d jobs %+v\n  %d jobs %+v", j1, s1, j2, s2)
+	}
+}

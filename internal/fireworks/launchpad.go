@@ -3,6 +3,7 @@ package fireworks
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"matproj/internal/datastore"
@@ -34,6 +35,12 @@ type LaunchPad struct {
 	fuses     map[string]Fuse
 	analyzers map[string]Analyzer
 	maxReruns int
+
+	// Lease machinery (see lease.go). leaseMu guards the three fields.
+	leaseMu     sync.Mutex
+	clock       func() float64
+	leaseSecs   float64
+	backoffBase float64
 }
 
 // NewLaunchPad wires a launchpad to a store. maxReruns bounds automatic
@@ -44,12 +51,15 @@ func NewLaunchPad(store *datastore.Store, maxReruns int) *LaunchPad {
 		maxReruns = 3
 	}
 	lp := &LaunchPad{
-		store:     store,
-		engines:   store.C(EnginesCollection),
-		tasks:     store.C(TasksCollection),
-		fuses:     map[string]Fuse{"": DefaultFuse{}, "default": DefaultFuse{}, "approval": ApprovalFuse{}},
-		analyzers: map[string]Analyzer{},
-		maxReruns: maxReruns,
+		store:       store,
+		engines:     store.C(EnginesCollection),
+		tasks:       store.C(TasksCollection),
+		fuses:       map[string]Fuse{"": DefaultFuse{}, "default": DefaultFuse{}, "approval": ApprovalFuse{}},
+		analyzers:   map[string]Analyzer{},
+		maxReruns:   maxReruns,
+		clock:       wallClock,
+		leaseSecs:   defaultLeaseSecs,
+		backoffBase: defaultBackoffBase,
 	}
 	lp.engines.EnsureIndex("state")
 	lp.engines.EnsureIndex("wf_id")
@@ -210,12 +220,20 @@ type Claimed struct {
 // {"stage.nelectrons": {"$lte": 200}}.
 func (lp *LaunchPad) Claim(workerID string, selector document.D) (*Claimed, error) {
 	for {
-		filter := document.D{"state": string(StateReady)}
+		now := lp.now()
+		leaseSecs, _ := lp.leaseParams()
+		filter := claimableFilter(now)
 		for k, v := range document.NormalizeDoc(selector) {
 			filter[k] = v
 		}
 		fw, err := lp.engines.FindAndModify(filter,
-			document.D{"$set": document.D{"state": string(StateRunning), "worker": workerID},
+			document.D{"$set": document.D{
+				"state":         string(StateRunning),
+				"worker":        workerID,
+				"claimed_at_s":  now,
+				"heartbeat_s":   now,
+				"lease_until_s": now + leaseSecs,
+			},
 				"$inc": document.D{"launches": 1}},
 			[]string{"-priority", "_id"}, true)
 		if errors.Is(err, datastore.ErrNotFound) {

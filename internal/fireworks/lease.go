@@ -1,0 +1,220 @@
+package fireworks
+
+import (
+	"errors"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// Lost-run recovery. A claim is not permanent ownership but a lease:
+// Claim stamps the firework with claimed_at_s / heartbeat_s /
+// lease_until_s, long-running workers extend the lease with Heartbeat,
+// and DetectLostRuns sweeps RUNNING fireworks whose lease expired — the
+// signature of a worker that died mid-run without reporting back (node
+// crash, OOM kill, network partition at the HPC center). Swept
+// fireworks are fizzled for the record and re-queued with exponential
+// backoff through the same reruns accounting the analyzer path uses, so
+// a crash-looping job still hits the maxReruns → defuse safety valve.
+//
+// Time is a float64 of seconds from an injectable clock, so the
+// discrete-event HPC simulator can drive leases on virtual time while
+// production uses the wall clock.
+
+// ErrLeaseLost is returned by Heartbeat when the caller no longer owns
+// the firework (the sweep re-queued it, or another worker claimed it).
+var ErrLeaseLost = errors.New("fireworks: lease lost")
+
+const (
+	defaultLeaseSecs   = 3600
+	defaultBackoffBase = 30
+)
+
+// SetClock installs the time source used for leases and backoff, as
+// seconds (epoch origin is irrelevant; only differences matter). The
+// default is the wall clock.
+func (lp *LaunchPad) SetClock(clock func() float64) {
+	lp.leaseMu.Lock()
+	defer lp.leaseMu.Unlock()
+	if clock == nil {
+		clock = wallClock
+	}
+	lp.clock = clock
+}
+
+// ConfigureLeases overrides the lease duration and the backoff base
+// used when a lost run is re-queued (delay = base * 2^reruns). Values
+// <= 0 keep the current setting.
+func (lp *LaunchPad) ConfigureLeases(leaseSecs, backoffBase float64) {
+	lp.leaseMu.Lock()
+	defer lp.leaseMu.Unlock()
+	if leaseSecs > 0 {
+		lp.leaseSecs = leaseSecs
+	}
+	if backoffBase > 0 {
+		lp.backoffBase = backoffBase
+	}
+}
+
+func wallClock() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+func (lp *LaunchPad) now() float64 {
+	lp.leaseMu.Lock()
+	defer lp.leaseMu.Unlock()
+	return lp.clock()
+}
+
+func (lp *LaunchPad) leaseParams() (leaseSecs, backoffBase float64) {
+	lp.leaseMu.Lock()
+	defer lp.leaseMu.Unlock()
+	return lp.leaseSecs, lp.backoffBase
+}
+
+// Heartbeat extends the caller's lease on a RUNNING firework. It fails
+// with ErrLeaseLost when the firework is no longer RUNNING under this
+// worker — the worker must then abandon the run (its result would race
+// the re-queued launch).
+func (lp *LaunchPad) Heartbeat(fwID, workerID string) error {
+	now := lp.now()
+	leaseSecs, _ := lp.leaseParams()
+	res, err := lp.engines.UpdateOne(
+		document.D{"_id": fwID, "state": string(StateRunning), "worker": workerID},
+		document.D{"$set": document.D{
+			"heartbeat_s":   now,
+			"lease_until_s": now + leaseSecs,
+		}})
+	if err != nil {
+		return err
+	}
+	if res.Matched == 0 {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// SweepStats summarizes one DetectLostRuns pass.
+type SweepStats struct {
+	// Scanned counts RUNNING fireworks whose lease had expired.
+	Scanned int
+	// Requeued counts lost runs put back to READY (with backoff).
+	Requeued int
+	// Defused counts lost runs that exhausted maxReruns.
+	Defused int
+}
+
+// DetectLostRuns finds RUNNING fireworks whose lease expired, fizzles
+// them (recording the loss), and re-queues them READY with exponential
+// backoff — or defuses the workflow once maxReruns is exhausted, the
+// same policy as analyzer-driven reruns.
+func (lp *LaunchPad) DetectLostRuns() (SweepStats, error) {
+	var stats SweepStats
+	_, backoffBase := lp.leaseParams()
+	for {
+		now := lp.now()
+		fw, err := lp.engines.FindAndModify(
+			document.D{
+				"state":         string(StateRunning),
+				"lease_until_s": document.D{"$lt": now},
+			},
+			document.D{
+				"$set": document.D{
+					"state":          string(StateFizzled),
+					"fizzle_reason":  "lost run: lease expired",
+					"last_lost_at_s": now,
+				},
+				"$inc": document.D{"lost_runs": 1},
+			},
+			[]string{"_id"}, true)
+		if err != nil {
+			if errors.Is(err, datastore.ErrNotFound) {
+				return stats, nil
+			}
+			return stats, err
+		}
+		stats.Scanned++
+		fwID := fw["_id"].(string)
+		reruns, _ := fw.GetInt("reruns")
+		if int(reruns) >= lp.maxReruns {
+			if err := lp.defuse(fwID, "lost run limit exhausted"); err != nil {
+				return stats, err
+			}
+			stats.Defused++
+			continue
+		}
+		backoff := backoffBase * float64(int64(1)<<uint(reruns))
+		if _, err := lp.engines.UpdateOne(document.D{"_id": fwID},
+			document.D{
+				"$set": document.D{
+					"state":        string(StateReady),
+					"not_before_s": now + backoff,
+				},
+				"$inc": document.D{"reruns": 1},
+			}); err != nil {
+			return stats, err
+		}
+		stats.Requeued++
+	}
+}
+
+// claimableFilter matches READY fireworks whose backoff window (if any)
+// has passed. Documents without not_before_s — everything predating
+// lost-run recovery — stay claimable.
+func claimableFilter(now float64) document.D {
+	return document.D{
+		"state":        string(StateReady),
+		"not_before_s": document.D{"$not": document.D{"$gt": now}},
+	}
+}
+
+// ClaimableCount reports how many READY fireworks are claimable right
+// now (backoff windows respected).
+func (lp *LaunchPad) ClaimableCount() int {
+	n, err := lp.engines.Count(claimableFilter(lp.now()))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// NextClaimableAt returns the earliest time at which some READY
+// firework is (or becomes) claimable. ok is false when nothing is
+// READY at all.
+func (lp *LaunchPad) NextClaimableAt() (at float64, ok bool) {
+	now := lp.now()
+	docs, err := lp.engines.FindAll(document.D{"state": string(StateReady)}, nil)
+	if err != nil || len(docs) == 0 {
+		return 0, false
+	}
+	best := 0.0
+	for _, d := range docs {
+		nb, has := d.GetFloat("not_before_s")
+		if !has || nb <= now {
+			return now, true
+		}
+		if !ok || nb < best {
+			best, ok = nb, true
+		}
+	}
+	return best, ok
+}
+
+// NextLeaseExpiry returns the earliest lease_until_s among RUNNING
+// fireworks; ok is false when nothing is RUNNING.
+func (lp *LaunchPad) NextLeaseExpiry() (at float64, ok bool) {
+	docs, err := lp.engines.FindAll(document.D{"state": string(StateRunning)}, nil)
+	if err != nil {
+		return 0, false
+	}
+	best := 0.0
+	for _, d := range docs {
+		lu, has := d.GetFloat("lease_until_s")
+		if !has {
+			continue
+		}
+		if !ok || lu < best {
+			best, ok = lu, true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,220 @@
+package fireworks
+
+import (
+	"errors"
+	"testing"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// fakeClock is a settable virtual time source for lease tests.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64      { return c.t }
+func (c *fakeClock) advance(s float64) { c.t += s }
+
+func leasePad(t *testing.T, maxReruns int) (*LaunchPad, *fakeClock, string, string) {
+	t.Helper()
+	store := datastore.MustOpenMemory()
+	pad := NewLaunchPad(store, maxReruns)
+	clk := &fakeClock{t: 1000}
+	pad.SetClock(clk.now)
+	pad.ConfigureLeases(60, 10) // 60s lease, 10s backoff base
+	wfID, err := pad.AddWorkflow([]Firework{{ID: "fw-lease-1", Stage: document.D{"x": int64(1)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pad, clk, wfID, "fw-lease-1"
+}
+
+func TestLostRunRequeuedWithBackoff(t *testing.T) {
+	pad, clk, _, fwID := leasePad(t, 3)
+	cl, err := pad.Claim("w1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.FWID != fwID {
+		t.Fatalf("claimed %s", cl.FWID)
+	}
+	fw, _ := pad.Firework(fwID)
+	if lu, ok := fw.GetFloat("lease_until_s"); !ok || lu != 1060 {
+		t.Fatalf("lease_until_s = %v, %v", lu, ok)
+	}
+
+	// Worker dies silently. Before the lease expires the sweep must not
+	// touch the run.
+	clk.advance(59)
+	stats, err := pad.DetectLostRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (SweepStats{}) {
+		t.Fatalf("premature sweep: %+v", stats)
+	}
+
+	// Past expiry the run is fizzled and re-queued with backoff.
+	clk.advance(2)
+	stats, err = pad.DetectLostRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 1 || stats.Requeued != 1 || stats.Defused != 0 {
+		t.Fatalf("sweep: %+v", stats)
+	}
+	fw, _ = pad.Firework(fwID)
+	if State(fw.GetString("state")) != StateReady {
+		t.Fatalf("state %s", fw.GetString("state"))
+	}
+	if lost, _ := fw.GetInt("lost_runs"); lost != 1 {
+		t.Fatalf("lost_runs %d", lost)
+	}
+	nb, _ := fw.GetFloat("not_before_s")
+	if nb != clk.t+10 {
+		t.Fatalf("not_before_s %v, want %v", nb, clk.t+10)
+	}
+
+	// Backoff gates claims: nothing claimable until not_before_s.
+	if _, err := pad.Claim("w2", nil); !errors.Is(err, ErrNoneReady) {
+		t.Fatalf("claim during backoff: %v", err)
+	}
+	if pad.ClaimableCount() != 0 {
+		t.Fatal("claimable during backoff")
+	}
+	if at, ok := pad.NextClaimableAt(); !ok || at != nb {
+		t.Fatalf("NextClaimableAt = %v, %v", at, ok)
+	}
+	clk.advance(11)
+	if pad.ClaimableCount() != 1 {
+		t.Fatal("not claimable after backoff")
+	}
+	if _, err := pad.Claim("w2", nil); err != nil {
+		t.Fatalf("claim after backoff: %v", err)
+	}
+
+	// Second loss doubles the backoff (base * 2^reruns).
+	clk.advance(61)
+	if _, err := pad.DetectLostRuns(); err != nil {
+		t.Fatal(err)
+	}
+	fw, _ = pad.Firework(fwID)
+	nb2, _ := fw.GetFloat("not_before_s")
+	if nb2 != clk.t+20 {
+		t.Fatalf("second backoff %v, want %v", nb2-clk.t, 20.0)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	pad, clk, _, fwID := leasePad(t, 3)
+	if _, err := pad.Claim("w1", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Long run: heartbeat every 50s keeps the 60s lease ahead of the
+	// sweep for 300s total.
+	for i := 0; i < 6; i++ {
+		clk.advance(50)
+		if err := pad.Heartbeat(fwID, "w1"); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		if stats, _ := pad.DetectLostRuns(); stats.Scanned != 0 {
+			t.Fatalf("heartbeat %d: swept a live run: %+v", i, stats)
+		}
+	}
+	fw, _ := pad.Firework(fwID)
+	if State(fw.GetString("state")) != StateRunning {
+		t.Fatalf("state %s", fw.GetString("state"))
+	}
+	if lost, _ := fw.GetInt("lost_runs"); lost != 0 {
+		t.Fatalf("lost_runs %d", lost)
+	}
+}
+
+func TestHeartbeatAfterSweepReturnsLeaseLost(t *testing.T) {
+	pad, clk, _, fwID := leasePad(t, 3)
+	if _, err := pad.Claim("w1", nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(61)
+	if _, err := pad.DetectLostRuns(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pad.Heartbeat(fwID, "w1"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("want ErrLeaseLost, got %v", err)
+	}
+	// A different worker claiming it also invalidates the old lease.
+	clk.advance(11)
+	if _, err := pad.Claim("w2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := pad.Heartbeat(fwID, "w1"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale worker heartbeat: %v", err)
+	}
+	if err := pad.Heartbeat(fwID, "w2"); err != nil {
+		t.Fatalf("owner heartbeat: %v", err)
+	}
+}
+
+func TestRepeatedLossDefusesAtMaxReruns(t *testing.T) {
+	pad, clk, wfID, fwID := leasePad(t, 2)
+	for i := 0; ; i++ {
+		if i > 10 {
+			t.Fatal("no convergence")
+		}
+		_, err := pad.Claim("w1", nil)
+		if errors.Is(err, ErrNoneReady) {
+			// Wait out backoff, if any.
+			if at, ok := pad.NextClaimableAt(); ok {
+				clk.t = at + 1
+				continue
+			}
+			break // nothing READY: terminal state reached
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(61)
+		if _, err := pad.DetectLostRuns(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw, _ := pad.Firework(fwID)
+	if State(fw.GetString("state")) != StateDefused {
+		t.Fatalf("state %s, want DEFUSED", fw.GetString("state"))
+	}
+	states, _ := pad.WorkflowStates(wfID)
+	if states[StateRunning] != 0 {
+		t.Fatalf("stuck RUNNING: %v", states)
+	}
+	if lost, _ := fw.GetInt("lost_runs"); lost != 3 {
+		t.Fatalf("lost_runs %d, want 3 (maxReruns 2 + final)", lost)
+	}
+}
+
+func TestLegacyDocsWithoutLeaseFieldsStayClaimable(t *testing.T) {
+	store := datastore.MustOpenMemory()
+	pad := NewLaunchPad(store, 3)
+	// Simulate a pre-lease document replayed from an old journal:
+	// READY with no not_before_s.
+	if _, err := store.C(EnginesCollection).Insert(document.D{
+		"_id": "fw-old", "wf_id": "wf-old", "state": string(StateReady),
+		"stage": map[string]any{}, "parents": []any{}, "fuse": "",
+		"priority": int64(0), "launches": int64(0), "reruns": int64(0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pad.ClaimableCount() != 1 {
+		t.Fatal("legacy doc not claimable")
+	}
+	cl, err := pad.Claim("w1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.FWID != "fw-old" {
+		t.Fatalf("claimed %s", cl.FWID)
+	}
+	// And the claim stamped a lease so it is now recoverable.
+	fw, _ := pad.Firework("fw-old")
+	if !fw.Has("lease_until_s") {
+		t.Fatal("claim did not stamp lease")
+	}
+}

@@ -106,14 +106,45 @@ func (r *Rocket) RunLocal(maxLaunches int) (int, error) {
 // (§III-C3), each resubmission round doubles the requested walltime (up
 // to 32×), so calculations that outlive the initial allocation still
 // complete. This is the production execution mode.
+//
+// DriveCluster also owns crash recovery: the launchpad's lease clock is
+// bound to the cluster's virtual time, a DetectLostRuns sweep runs
+// between rounds, and when every remaining firework is either
+// backoff-gated or held by an expired-but-unswept lease the virtual
+// clock is advanced past the blocking deadline. A run with injected
+// worker crashes therefore still converges: crashed launches are swept,
+// re-queued with backoff, and picked up by later jobs.
 func DriveCluster(pad *LaunchPad, asm Assembler, cluster *hpc.Cluster, user string, workers int, jobWalltime time.Duration, selector document.D) (int, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// Leases and backoff run on simulated time for the whole drive.
+	pad.SetClock(func() float64 { return cluster.Now().Seconds() })
 	jobs := 0
 	for round := 0; ; round++ {
+		if round > 10000 {
+			return jobs, fmt.Errorf("fireworks: drive did not quiesce")
+		}
+		// Reclaim launches whose workers died since the last round.
+		if _, err := pad.DetectLostRuns(); err != nil {
+			return jobs, err
+		}
 		if pad.ReadyCount() == 0 {
+			// Anything still RUNNING belongs to a dead worker (the
+			// cluster is idle between rounds): wait out its lease so the
+			// next sweep can reclaim it.
+			if at, ok := pad.NextLeaseExpiry(); ok {
+				cluster.AdvanceTo(secsToDur(at) + time.Second)
+				continue
+			}
 			break
+		}
+		if pad.ClaimableCount() == 0 {
+			// All READY work is backoff-gated; jump to when it opens.
+			if at, ok := pad.NextClaimableAt(); ok {
+				cluster.AdvanceTo(secsToDur(at) + time.Second)
+			}
+			continue
 		}
 		wall := jobWalltime
 		if round > 0 {
@@ -145,9 +176,10 @@ func DriveCluster(pad *LaunchPad, asm Assembler, cluster *hpc.Cluster, user stri
 			jobs++
 		}
 		cluster.RunAll()
-		if round > 10000 {
-			return jobs, fmt.Errorf("fireworks: drive did not quiesce")
-		}
 	}
 	return jobs, nil
+}
+
+func secsToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }

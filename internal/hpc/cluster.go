@@ -95,10 +95,25 @@ type Stats struct {
 	JobsKilled    int
 	TasksDone     int
 	TasksKilled   int
+	// WorkerCrashes counts injected node deaths (see WorkerFaults). A
+	// crash is silent: unlike a walltime kill, the dying task gets no
+	// callback, exactly like a real node failure.
+	WorkerCrashes int
 	// BusyTime is summed node-seconds of execution.
 	BusyTime time.Duration
 	// Makespan is the virtual time of the last processed event.
 	Makespan time.Duration
+}
+
+// WorkerFaults lets a fault injector crash simulated workers mid-task.
+// Implemented by *faults.Injector; declared here so the simulator stays
+// free of test-harness imports.
+type WorkerFaults interface {
+	// CrashPoint is consulted once per started task. When crash is
+	// true, the node dies at frac (in (0,1)) of the task's duration —
+	// silently: no task callback fires, so whatever state the task was
+	// maintaining elsewhere is left dangling, which is the point.
+	CrashPoint() (frac float64, crash bool)
 }
 
 // Policy captures site connectivity rules (§IV-A2): worker nodes may not
@@ -126,6 +141,7 @@ type Cluster struct {
 	events    eventHeap
 	seq       int
 	stats     Stats
+	faults    WorkerFaults
 }
 
 type runningJob struct {
@@ -148,6 +164,7 @@ type eventKind int
 const (
 	evTaskDone eventKind = iota
 	evWalltime
+	evCrash
 )
 
 // NewCluster creates a cluster with the given node count and per-user
@@ -171,6 +188,20 @@ func (c *Cluster) Policy() Policy { return c.policy }
 
 // Now returns the virtual clock.
 func (c *Cluster) Now() time.Duration { return c.clock }
+
+// AdvanceTo moves the virtual clock forward to t (no-op when t is in
+// the past). Intended for an idle cluster — e.g. to wait out a lease
+// expiry or backoff window between submission rounds; with events
+// pending it would make them fire late.
+func (c *Cluster) AdvanceTo(t time.Duration) {
+	if t > c.clock {
+		c.clock = t
+	}
+}
+
+// InjectFaults installs a worker-crash fault injector (chaos testing).
+// Passing nil removes it.
+func (c *Cluster) InjectFaults(f WorkerFaults) { c.faults = f }
 
 // Stats returns a snapshot of activity counters.
 func (c *Cluster) Stats() Stats {
@@ -232,6 +263,17 @@ func (c *Cluster) startNextTask(rj *runningJob) {
 		task.Duration = 0
 	}
 	end := c.clock + task.Duration
+	// Injected node death: the crash wins only if it lands before both
+	// the task's natural end and the walltime kill.
+	if c.faults != nil {
+		if frac, crash := c.faults.CrashPoint(); crash {
+			crashAt := c.clock + time.Duration(frac*float64(task.Duration))
+			if crashAt < end && crashAt < rj.deadline {
+				c.push(event{at: crashAt, kind: evCrash, rj: rj, task: task})
+				return
+			}
+		}
+	}
 	if end > rj.deadline {
 		// The task will be cut down by the walltime kill.
 		c.push(event{at: rj.deadline, kind: evWalltime, rj: rj, task: task})
@@ -282,6 +324,12 @@ func (c *Cluster) Step() bool {
 		if e.task.OnKilled != nil {
 			e.task.OnKilled(c.clock)
 		}
+		c.finishJob(e.rj, true)
+	case evCrash:
+		// Silent death: neither OnDone nor OnKilled fires — the worker
+		// vanished without reporting. Only the batch system notices the
+		// job is gone (OnEnd via finishJob).
+		c.stats.WorkerCrashes++
 		c.finishJob(e.rj, true)
 	}
 	return true

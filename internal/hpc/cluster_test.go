@@ -266,3 +266,84 @@ func TestEmptyJobCompletesImmediately(t *testing.T) {
 		t.Error("not counted")
 	}
 }
+
+type crashAlways struct{ frac float64 }
+
+func (c crashAlways) CrashPoint() (float64, bool) { return c.frac, true }
+
+func TestInjectedCrashIsSilent(t *testing.T) {
+	c := NewCluster(1, 0, Policy{})
+	c.InjectFaults(crashAlways{frac: 0.5})
+	var doneCalled, killedCalled bool
+	endKilled := false
+	c.Submit(&Job{ID: "j", User: "u", Walltime: time.Hour, Source: &SliceSource{Tasks: []Task{{
+		Duration: 10 * time.Minute,
+		OnDone:   func(time.Duration) { doneCalled = true },
+		OnKilled: func(time.Duration) { killedCalled = true },
+	}}}, OnEnd: func(_ time.Duration, killed bool) { endKilled = killed }})
+	c.RunAll()
+	if doneCalled || killedCalled {
+		t.Errorf("crash must be silent: OnDone=%v OnKilled=%v", doneCalled, killedCalled)
+	}
+	if !endKilled {
+		t.Error("batch system should see the job as killed")
+	}
+	st := c.Stats()
+	if st.WorkerCrashes != 1 || st.JobsKilled != 1 || st.TasksDone != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	// The crash fires mid-task: at 50% of 10 minutes.
+	if c.Now() != 5*time.Minute {
+		t.Errorf("clock %v, want 5m", c.Now())
+	}
+	// The node is free again for new work.
+	ran := false
+	c.InjectFaults(nil)
+	c.Submit(&Job{ID: "j2", User: "u", Walltime: time.Hour, Source: &SliceSource{Tasks: []Task{{
+		Duration: time.Minute, OnDone: func(time.Duration) { ran = true },
+	}}}})
+	c.RunAll()
+	if !ran {
+		t.Error("node not released after crash")
+	}
+}
+
+func TestCrashAfterWalltimeDeadlineFallsBackToKill(t *testing.T) {
+	// Crash point lands beyond the walltime: the ordinary kill wins and
+	// the task IS notified.
+	c := NewCluster(1, 0, Policy{})
+	c.InjectFaults(crashAlways{frac: 0.9})
+	killed := false
+	c.Submit(&Job{ID: "j", User: "u", Walltime: 30 * time.Minute, Source: &SliceSource{Tasks: []Task{{
+		Duration: time.Hour,
+		OnKilled: func(time.Duration) { killed = true },
+	}}}})
+	c.RunAll()
+	if !killed {
+		t.Error("walltime kill should fire when crash lands past the deadline")
+	}
+	if st := c.Stats(); st.WorkerCrashes != 0 || st.TasksKilled != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := NewCluster(1, 0, Policy{})
+	c.AdvanceTo(2 * time.Hour)
+	if c.Now() != 2*time.Hour {
+		t.Errorf("clock %v", c.Now())
+	}
+	c.AdvanceTo(time.Hour) // backwards is a no-op
+	if c.Now() != 2*time.Hour {
+		t.Errorf("clock went backwards: %v", c.Now())
+	}
+	// New work starts at the advanced clock.
+	var startedAt time.Duration
+	c.Submit(&Job{ID: "j", User: "u", Walltime: time.Hour, Source: &SliceSource{Tasks: []Task{{
+		Duration: time.Minute, OnDone: func(now time.Duration) { startedAt = now },
+	}}}})
+	c.RunAll()
+	if startedAt != 2*time.Hour+time.Minute {
+		t.Errorf("task finished at %v", startedAt)
+	}
+}

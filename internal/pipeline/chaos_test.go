@@ -1,0 +1,35 @@
+package pipeline
+
+import (
+	"testing"
+
+	"matproj/internal/document"
+	"matproj/internal/faults"
+	"matproj/internal/fireworks"
+)
+
+func TestBuildConvergesUnderChaos(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NMaterials = 20
+	cfg.SkipDerived = true
+	cfg.Faults = faults.New(faults.Config{Seed: 5, WorkerCrashRate: 0.15})
+	d, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cluster.Stats().WorkerCrashes == 0 {
+		t.Fatal("no crashes injected — test is vacuous; change the seed")
+	}
+	// Despite the crashes the computation tier must quiesce with no
+	// firework stuck RUNNING, and the build must still produce materials.
+	n, _ := d.Store.C(fireworks.EnginesCollection).Count(
+		document.D{"state": string(fireworks.StateRunning)})
+	if n != 0 {
+		t.Fatalf("%d fireworks stuck RUNNING", n)
+	}
+	if d.Materials == 0 {
+		t.Fatal("chaos build produced no materials")
+	}
+	t.Logf("chaos build: %d crashes, %d tasks, %d materials",
+		d.Cluster.Stats().WorkerCrashes, d.Tasks, d.Materials)
+}

@@ -39,6 +39,17 @@ type Config struct {
 	// relaxation, exercising parent-child dependencies and fuse overrides
 	// at production scale.
 	StaticFollowUp bool
+	// Faults optionally injects chaos (worker crashes, dropped journal
+	// appends) into the computation tier; the build must still converge
+	// via lost-run recovery. Typically a *faults.Injector.
+	Faults ChaosFaults
+}
+
+// ChaosFaults is the combined fault surface the pipeline can wire into
+// both the cluster simulator and the datastore journal.
+type ChaosFaults interface {
+	hpc.WorkerFaults
+	datastore.JournalFaults
 }
 
 // DefaultConfig returns a laptop-scale deployment configuration.
@@ -116,6 +127,10 @@ func Build(cfg Config) (*Deployment, error) {
 	// 2. Parallel computation on the simulated HPC system (§IV-A).
 	cluster := hpc.NewCluster(cfg.Nodes, cfg.QueueLimit,
 		hpc.Policy{WorkerOutbound: false, ProxyHost: "mongoproxy01"})
+	if cfg.Faults != nil {
+		cluster.InjectFaults(cfg.Faults)
+		store.InjectJournalFaults(cfg.Faults)
+	}
 	d.Cluster = cluster
 	jobs, err := fireworks.DriveCluster(pad, fireworks.NewVASPAssembler(store), cluster,
 		"mp_prod", cfg.Workers, cfg.JobWalltime, nil)
@@ -124,6 +139,11 @@ func Build(cfg Config) (*Deployment, error) {
 	}
 	d.BatchJobs = jobs
 	d.Tasks, _ = store.C("tasks").Count(nil)
+	if cfg.Faults != nil {
+		// Chaos targets the computation tier; the build stages that
+		// follow run clean.
+		store.InjectJournalFaults(nil)
+	}
 
 	// 3. Build the materials collection (§III-B3).
 	mb := &builder.MaterialsBuilder{Store: store, Engine: builder.EngineParallel}
