@@ -1,4 +1,4 @@
-.PHONY: check test vet build bench
+.PHONY: check test vet build bench fuzz
 
 build:
 	go build ./...
@@ -9,9 +9,19 @@ vet:
 test:
 	go test ./...
 
-# Full gate: vet + build + race-enabled tests.
+# Full gate: vet + build + race-enabled tests + fuzz smoke.
 check:
 	./scripts/check.sh
 
+# bench runs the Go benchmarks once each, then the instrumented
+# deployment benchmark, which writes BENCH_core.json (timed loops) and
+# BENCH_obs.json (the live metrics registry after the same traffic).
 bench:
 	go test -bench . -benchtime 1x -run '^$$' .
+	go run ./cmd/mpbench -exp bench -scale small
+
+# fuzz runs each fuzz target for longer than the check-gate smoke.
+fuzz:
+	go test ./internal/query/ -run '^$$' -fuzz '^FuzzFilterCompileMatch$$' -fuzztime 60s
+	go test ./internal/query/ -run '^$$' -fuzz '^FuzzUpdateApply$$' -fuzztime 60s
+	go test ./internal/document/ -run '^$$' -fuzz '^FuzzDocumentPath$$' -fuzztime 60s

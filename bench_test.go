@@ -17,6 +17,7 @@ import (
 	"matproj/internal/fireworks"
 	"matproj/internal/icsd"
 	"matproj/internal/mapreduce"
+	"matproj/internal/obs"
 	"matproj/internal/queryengine"
 	"matproj/internal/shard"
 )
@@ -431,6 +432,87 @@ func BenchmarkShardedQuery(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := cl.FindAll("materials", filter, nil, shard.ReadPrimary); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- observability-era core benchmarks (mpbench -exp bench mirrors these) ---
+
+// BenchmarkFind times the full dissemination read path — QueryEngine over
+// an indexed collection — with the metrics layer off and on, so the
+// instrumentation overhead is a number, not a guess.
+func BenchmarkFind(b *testing.B) {
+	for _, instrumented := range []bool{false, true} {
+		b.Run(fmt.Sprintf("obs=%v", instrumented), func(b *testing.B) {
+			c := queryFixture(b, 5000, true)
+			store := storeOf(c)
+			eng := queryengine.New(store)
+			if instrumented {
+				reg := obs.NewRegistry()
+				store.Observe(reg, nil)
+				eng.Observe(reg, nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Find("bench", "engines", paperQuery, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregate times the sanitized aggregation path end to end
+// (QueryEngine stage whitelist + datastore pipeline executor).
+func BenchmarkAggregate(b *testing.B) {
+	store := datastore.MustOpenMemory()
+	tasks := store.C("tasks")
+	for i := 0; i < benchScale.MRDocs; i++ {
+		if _, err := tasks.Insert(document.D{
+			"state":  "successful",
+			"stage":  map[string]any{"structure_id": fmt.Sprintf("s%05d", i%(benchScale.MRDocs/8+1))},
+			"result": map[string]any{"final_energy": -float64(i%37) - 1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng := queryengine.New(store)
+	stages := []document.D{
+		{"$group": document.MustFromJSON(`{"_id": "$stage.structure_id", "best": {"$min": "$result.final_energy"}}`)},
+		{"$sort": document.MustFromJSON(`{"best": 1}`)},
+		{"$limit": int64(10)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Aggregate("bench", "tasks", stages); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapReduceParallelVsBuiltin puts the §IV-B2 comparison in one
+// benchmark: the same reduction on the same corpus, single-threaded
+// builtin vs the Hadoop-style engine at increasing worker counts.
+func BenchmarkMapReduceParallelVsBuiltin(b *testing.B) {
+	b.Run("builtin", func(b *testing.B) {
+		tasks := mrFixture(b, benchScale.MRDocs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tasks.MapReduce(nil, mrMapper, mrReducer); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			tasks := mrFixture(b, benchScale.MRDocs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapreduce.RunCollection(tasks, nil, mrMapper, mrReducer,
+					mapreduce.Config{MapWorkers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"matproj/internal/document"
+	"matproj/internal/experiments"
+	"matproj/internal/mapreduce"
+	"matproj/internal/obs"
+	"matproj/internal/pipeline"
+	"matproj/internal/webload"
+)
+
+// The bench experiment builds one instrumented deployment and drives the
+// core data-path operations through it in timed loops, writing two
+// machine-readable artifacts:
+//
+//   - BENCH_core.json — per-operation wall-clock timings (find,
+//     aggregate, MapReduce builtin vs parallel, webload replay)
+//   - BENCH_obs.json  — the live metrics registry snapshot plus the
+//     slow-query log, i.e. exactly what GET /metrics would have served
+//     after the same traffic
+//
+// The obs artifact is the point: the timed loops say what the harness
+// measured from outside, the registry says what the system observed about
+// itself, and the two must agree.
+
+// benchResult is one timed loop in BENCH_core.json.
+type benchResult struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	MsPerOp float64            `json:"ms_per_op"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+func timed(name string, iters int, f func() error) (benchResult, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return benchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	per := float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return benchResult{Name: name, Iters: iters, NsPerOp: per, MsPerOp: per / 1e6}, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchMapper / benchReducer group tasks per structure and keep the
+// lowest energy — the materials-builder reduction in miniature.
+func benchMapper(t document.D, emit func(string, any)) {
+	if t.GetString("state") != "successful" {
+		return
+	}
+	if sid := t.GetString("result.structure_id"); sid != "" {
+		e, _ := t.GetFloat("result.energy_per_atom")
+		emit(sid, e)
+	}
+}
+
+func benchReducer(_ string, vs []any) any {
+	best, _ := document.AsFloat(vs[0])
+	for _, v := range vs[1:] {
+		if f, _ := document.AsFloat(v); f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+func runBench(sc experiments.Scale, coreOut, obsOut string) error {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(250*time.Millisecond, 0)
+	cfg := pipeline.DefaultConfig()
+	cfg.NMaterials = sc.Materials
+	cfg.Obs = reg
+	cfg.Tracer = tracer
+	fmt.Printf("building instrumented deployment (%d materials)...\n", cfg.NMaterials)
+	d, err := pipeline.Build(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Store.Close()
+
+	var results []benchResult
+	record := func(r benchResult, err error) error {
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("  %-32s %8d iters  %10.3f ms/op\n", r.Name, r.Iters, r.MsPerOp)
+		return nil
+	}
+
+	findFilter := document.MustFromJSON(`{"bandgap": {"$gte": 0.5}}`)
+	if err := record(timed("queryengine.Find", 200, func() error {
+		_, err := d.Engine.Find("bench", "materials", findFilter, nil)
+		return err
+	})); err != nil {
+		return err
+	}
+
+	stages := []document.D{
+		{"$match": map[string]any{"band_gap": map[string]any{"$gte": 0.0}}},
+		{"$group": document.MustFromJSON(`{"_id": "$nelements", "n": {"$sum": 1}, "gap": {"$avg": "$band_gap"}}`)},
+		{"$sort": document.MustFromJSON(`{"_id": 1}`)},
+	}
+	if err := record(timed("queryengine.Aggregate", 100, func() error {
+		_, err := d.Engine.Aggregate("bench", "materials", stages)
+		return err
+	})); err != nil {
+		return err
+	}
+
+	tasks := d.Store.C("tasks")
+	if err := record(timed("mapreduce.Builtin", 50, func() error {
+		_, err := tasks.MapReduce(nil, benchMapper, benchReducer)
+		return err
+	})); err != nil {
+		return err
+	}
+	if err := record(timed("mapreduce.Parallel4", 50, func() error {
+		_, err := mapreduce.RunCollection(tasks, nil, benchMapper, benchReducer,
+			mapreduce.Config{MapWorkers: 4})
+		return err
+	})); err != nil {
+		return err
+	}
+
+	gen, err := webload.NewGenerator(7, d.Store.C("materials"))
+	if err != nil {
+		return err
+	}
+	var records int
+	r, err := timed("webload.Replay", 1, func() error {
+		_, records, err = webload.Replay(gen, d.Engine, "materials", sc.Queries)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	r.Extra = map[string]float64{"queries": float64(sc.Queries), "records": float64(records)}
+	if err := record(r, nil); err != nil {
+		return err
+	}
+
+	if err := writeJSON(coreOut, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", coreOut, len(results))
+
+	snap := reg.Snapshot()
+	total, slow := tracer.Counts()
+	obsPayload := struct {
+		obs.Snapshot
+		OpsTraced    uint64       `json:"ops_traced"`
+		SlowOpsTotal uint64       `json:"slow_ops_total"`
+		SlowOps      []obs.SlowOp `json:"slow_ops,omitempty"`
+	}{Snapshot: snap, OpsTraced: total, SlowOpsTotal: slow, SlowOps: tracer.SlowOps()}
+	if err := writeJSON(obsOut, obsPayload); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d counters, %d histograms)\n", obsOut, len(snap.Counters), len(snap.Histograms))
+
+	fmt.Println("\nlive registry after the run (Fig. 5-comparable text render):")
+	snap.WriteText(os.Stdout)
+	return nil
+}

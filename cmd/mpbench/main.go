@@ -20,8 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|all)")
 	scaleName := flag.String("scale", "full", "experiment scale (small|full)")
+	benchOut := flag.String("bench-out", "BENCH_core.json", "bench mode: timed-loop results file")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "bench mode: metrics registry snapshot file")
 	flag.Parse()
 
 	sc := experiments.Full
@@ -110,6 +112,11 @@ func main() {
 			fmt.Printf("Week accounting (paper: 3315 distinct queries, 12,951,099 records)\n")
 			fmt.Printf("  queries: %d\n  records: %d\n", r.Queries, r.Records)
 			return nil
+		},
+		// bench is not part of -exp all: it writes BENCH_core.json /
+		// BENCH_obs.json artifacts rather than rendering a paper figure.
+		"bench": func() error {
+			return runBench(sc, *benchOut, *obsOut)
 		},
 	}
 

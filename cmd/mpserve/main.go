@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
+	"matproj/internal/obs"
 	"matproj/internal/pipeline"
 	"matproj/internal/restapi"
 	"matproj/internal/webui"
@@ -26,12 +28,26 @@ func main() {
 	nMaterials := flag.Int("materials", 80, "synthetic ICSD records to compute on first build")
 	dataDir := flag.String("data", "", "directory for a durable store (empty = in-memory)")
 	seed := flag.Int64("seed", 2012, "dataset seed")
+	metrics := flag.Bool("metrics", true, "record live metrics and serve GET /metrics and GET /status")
+	slowQueryMs := flag.Float64("slow-query-ms", 250, "slow-query log threshold in milliseconds (0 disables the log)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics {
+		reg = obs.NewRegistry()
+		if *slowQueryMs > 0 {
+			tracer = obs.NewTracer(time.Duration(*slowQueryMs*float64(time.Millisecond)), 0)
+		}
+	}
 
 	cfg := pipeline.DefaultConfig()
 	cfg.NMaterials = *nMaterials
 	cfg.PersistDir = *dataDir
 	cfg.Seed = *seed
+	cfg.Obs = reg
+	cfg.Tracer = tracer
 	log.Printf("building deployment (%d materials)...", cfg.NMaterials)
 	d, err := pipeline.Build(cfg)
 	if err != nil {
@@ -44,10 +60,27 @@ func main() {
 
 	auth := restapi.NewAuth(d.Store)
 	api := restapi.NewServer(d.Engine, auth, d.Store)
+	if *metrics {
+		api.Observe(reg, tracer)
+	}
+	if *pprofFlag {
+		api.EnablePprof()
+	}
 	portal := webui.NewServer(d.Engine, d.Store)
 	mux := http.NewServeMux()
 	mux.Handle("/rest/", api)
 	mux.Handle("/auth/", api)
+	if *metrics {
+		mux.Handle("/metrics", api)
+		mux.Handle("/status", api)
+		if tracer != nil {
+			log.Printf("slow-query log armed at %.1f ms", *slowQueryMs)
+		}
+	}
+	if *pprofFlag {
+		mux.Handle("/debug/pprof/", api)
+		log.Printf("pprof exposed at /debug/pprof/")
+	}
 	mux.Handle("/", portal)
 	log.Printf("Materials API + web portal listening on %s", *addr)
 	fmt.Printf("portal:  http://localhost%s/\n", *addr)

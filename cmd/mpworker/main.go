@@ -16,7 +16,9 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"matproj/internal/datastore"
@@ -26,6 +28,7 @@ import (
 	"matproj/internal/fireworks"
 	"matproj/internal/hpc"
 	"matproj/internal/icsd"
+	"matproj/internal/obs"
 )
 
 func main() {
@@ -41,15 +44,28 @@ func main() {
 	chaosCrashRate := flag.Float64("chaos-crash-rate", 0, "probability a worker crashes silently mid-run")
 	chaosTear := flag.Bool("chaos-tear-journal", false, "tear the journal tail after the run and reopen (needs -data)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed")
+	metrics := flag.Bool("metrics", true, "record live metrics and print a registry snapshot at exit")
+	slowQueryMs := flag.Float64("slow-query-ms", 250, "slow-op log threshold in milliseconds (0 disables the log)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics {
+		reg = obs.NewRegistry()
+		if *slowQueryMs > 0 {
+			tracer = obs.NewTracer(time.Duration(*slowQueryMs*float64(time.Millisecond)), 0)
+		}
+	}
 
 	store, err := datastore.Open(*dataDir)
 	if err != nil {
 		log.Fatalf("mpworker: %v", err)
 	}
 	defer store.Close()
+	store.Observe(reg, tracer)
 
 	pad := fireworks.NewLaunchPad(store, 5)
+	pad.Observe(reg)
 	fireworks.RegisterVASP(pad)
 	mps := store.C("mps")
 	var fws []fireworks.Firework
@@ -98,6 +114,19 @@ func main() {
 	for _, state := range []fireworks.State{fireworks.StateCompleted, fireworks.StateDefused, fireworks.StateRunning} {
 		n, _ := store.C(fireworks.EnginesCollection).Count(document.D{"state": string(state)})
 		log.Printf("fireworks %s: %d", state, n)
+	}
+
+	if reg != nil {
+		fmt.Println("--- metrics snapshot ---")
+		reg.Snapshot().WriteText(os.Stdout)
+		if tracer != nil {
+			total, slow := tracer.Counts()
+			fmt.Printf("ops traced: %d  slow: %d (threshold %.1f ms)\n", total, slow, *slowQueryMs)
+			for _, op := range tracer.SlowOps() {
+				fmt.Printf("  %s %10.3f ms  %s  %s\n",
+					op.At.Format("15:04:05.000"), op.DurationMs, op.Op, op.Detail)
+			}
+		}
 	}
 
 	if *chaosTear {

@@ -503,17 +503,32 @@ func (c *Collection) RemoveID(id string) error {
 	return nil
 }
 
-// profile records an operation in the store profiler.
+// profile records an operation in the store profiler and, when the store
+// is observed, in the live metrics registry and slow-op tracer.
 func (c *Collection) profile(op string, start time.Time, returned int) {
-	if c.store == nil || c.store.profiler == nil {
+	if c.store == nil {
 		return
 	}
-	c.store.profiler.Record(ProfileEntry{
-		Collection: c.name,
-		Op:         op,
-		Duration:   time.Since(start),
-		Returned:   returned,
-		At:         start,
+	dur := time.Since(start)
+	if c.store.profiler != nil {
+		c.store.profiler.Record(ProfileEntry{
+			Collection: c.name,
+			Op:         op,
+			Duration:   dur,
+			Returned:   returned,
+			At:         start,
+		})
+	}
+	reg, tr := c.store.metrics()
+	if reg != nil {
+		reg.Counter("datastore." + c.name + "." + op).Inc()
+		reg.LatencyHistogram("datastore." + op + "_ms").ObserveDuration(dur)
+		if returned > 0 {
+			reg.Counter("datastore.docs_returned").Add(uint64(returned))
+		}
+	}
+	tr.ObserveFunc("datastore."+op, dur, func() string {
+		return fmt.Sprintf("collection=%s returned=%d", c.name, returned)
 	})
 }
 

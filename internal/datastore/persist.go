@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"matproj/internal/document"
+	"matproj/internal/obs"
 )
 
 // Durability: the store appends every write to a checksummed JSON-lines
@@ -67,6 +68,9 @@ type journal struct {
 	file   *os.File
 	w      *bufio.Writer
 	faults JournalFaults
+	// obs, when set, receives append/fsync/snapshot latencies and
+	// counters. Guarded by mu like the rest of the journal state.
+	obs *obs.Registry
 }
 
 // RecoveryStats describes what replay found when a durable store was
@@ -158,10 +162,17 @@ func (j *journal) close() error {
 		j.file = nil
 		return err
 	}
-	j.file.Sync()
+	j.syncTimed(j.file)
 	err := j.file.Close()
 	j.file = nil
 	return err
+}
+
+// syncTimed fsyncs f and records the latency when the journal is observed.
+func (j *journal) syncTimed(f *os.File) {
+	start := time.Now()
+	f.Sync()
+	j.obs.LatencyHistogram("datastore.journal.fsync_ms").ObserveDuration(time.Since(start))
 }
 
 func (j *journal) append(rec journalRecord) {
@@ -175,6 +186,7 @@ func (j *journal) append(rec journalRecord) {
 			time.Sleep(d)
 		}
 		if j.faults.DropAppend() {
+			j.obs.Counter("datastore.journal.dropped_appends").Inc()
 			return
 		}
 	}
@@ -182,9 +194,12 @@ func (j *journal) append(rec journalRecord) {
 	if err != nil {
 		return
 	}
+	start := time.Now()
 	j.w.Write(encodeLine(b))
 	// Flush per record: cheap at our scale and keeps reopen loss-free.
 	j.w.Flush()
+	j.obs.Counter("datastore.journal.appends").Inc()
+	j.obs.LatencyHistogram("datastore.journal.append_ms").ObserveDuration(time.Since(start))
 }
 
 func (j *journal) logWrite(coll string, op journalOp, id string, doc document.D) {
@@ -363,6 +378,11 @@ func applyRecord(s *Store, rec journalRecord) error {
 func (j *journal) snapshot(s *Store) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	snapStart := time.Now()
+	defer func() {
+		j.obs.Counter("datastore.journal.snapshots").Inc()
+		j.obs.LatencyHistogram("datastore.journal.snapshot_ms").ObserveDuration(time.Since(snapStart))
+	}()
 	tmp := snapshotPath(j.dir) + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -409,11 +429,13 @@ func (j *journal) snapshot(s *Store) error {
 		os.Remove(tmp)
 		return err
 	}
+	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
+	j.obs.LatencyHistogram("datastore.journal.fsync_ms").ObserveDuration(time.Since(syncStart))
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -425,7 +447,7 @@ func (j *journal) snapshot(s *Store) error {
 	// Truncate the journal now that its contents are in the snapshot.
 	if j.file != nil {
 		j.w.Flush()
-		j.file.Sync()
+		j.syncTimed(j.file)
 		j.file.Close()
 	}
 	if err := os.Truncate(journalPath(j.dir), 0); err != nil {

@@ -16,7 +16,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"matproj/internal/obs"
 )
 
 // Store is a database: a set of named collections. All methods are safe
@@ -27,6 +30,11 @@ type Store struct {
 	journal     *journal
 	profiler    *Profiler
 	recovery    RecoveryStats
+
+	// Live observability (nil when not wired): every profiled operation
+	// also lands in the registry, and slow ops in the tracer's log.
+	obsReg atomic.Pointer[obs.Registry]
+	obsTr  atomic.Pointer[obs.Tracer]
 }
 
 // Open creates an in-memory store. If dir is non-empty, the store is
@@ -66,6 +74,39 @@ func (s *Store) Recovery() RecoveryStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.recovery
+}
+
+// Observe wires the store's hot paths into a metrics registry and slow-op
+// tracer (either may be nil). Per-collection operation counters, per-op
+// latency histograms, journal append/fsync/snapshot timings, and the
+// recovery stats from open all become visible. Safe to call while
+// traffic is flowing.
+func (s *Store) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	s.obsReg.Store(reg)
+	s.obsTr.Store(tr)
+	s.mu.RLock()
+	j := s.journal
+	rec := s.recovery
+	s.mu.RUnlock()
+	if j != nil {
+		j.mu.Lock()
+		j.obs = reg
+		j.mu.Unlock()
+	}
+	if reg != nil {
+		reg.Counter("datastore.recovery.snapshot_records").Add(uint64(rec.SnapshotRecords))
+		reg.Counter("datastore.recovery.journal_records").Add(uint64(rec.JournalRecords))
+		reg.Counter("datastore.recovery.dropped_records").Add(uint64(rec.DroppedRecords))
+		reg.Counter("datastore.recovery.truncated_bytes").Add(uint64(rec.TruncatedBytes))
+		if rec.Repaired {
+			reg.Counter("datastore.recovery.repaired").Inc()
+		}
+	}
+}
+
+// metrics returns the wired registry and tracer (either may be nil).
+func (s *Store) metrics() (*obs.Registry, *obs.Tracer) {
+	return s.obsReg.Load(), s.obsTr.Load()
 }
 
 // InjectJournalFaults installs a fault injector on the journal append

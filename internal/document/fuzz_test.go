@@ -1,0 +1,66 @@
+package document
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDocumentPath exercises dotted-path traversal — Get, Set, Unset,
+// Has — with arbitrary documents, paths, and values. The invariants:
+// nothing panics, Get is a pure read, a successful Set is visible to Get
+// at the same path with an Equal value, and none of it disturbs the
+// original document (all mutation happens on a copy).
+func FuzzDocumentPath(f *testing.F) {
+	seeds := [][3]string{
+		{`{"a": {"b": {"c": 1}}}`, "a.b.c", `2`},
+		{`{"a": {"b": 1}}`, "a.x.y", `"deep"`},
+		{`{"elements": ["Li", "O"]}`, "elements.1", `"Fe"`},
+		{`{"tasks": [{"state": "ok"}]}`, "tasks.0.state", `"failed"`},
+		{`{}`, "brand.new.path", `{"nested": true}`},
+		{`{"a": 5}`, "a.b", `1`},
+		{`{"a": [1, [2, 3]]}`, "a.1.0", `9`},
+		{`{"x": null}`, "x", `[1, 2]`},
+		{`{"": {"": 1}}`, ".", `3`},
+		{`{"a": {"b": 2}}`, "a..b", `4`},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2])
+	}
+	f.Fuzz(func(t *testing.T, docJSON, path, valJSON string) {
+		d, err := FromJSON([]byte(docJSON))
+		if err != nil {
+			t.Skip()
+		}
+		var val any
+		if err := json.Unmarshal([]byte(valJSON), &val); err != nil {
+			val = valJSON
+		}
+		val = Normalize(val)
+		orig := d.Copy()
+
+		v1, ok1 := d.Get(path)
+		v2, ok2 := d.Get(path)
+		if ok1 != ok2 || (ok1 && !Equal(v1, v2)) {
+			t.Fatalf("Get(%q) not deterministic on %s", path, docJSON)
+		}
+		if d.Has(path) != ok1 {
+			t.Fatalf("Has(%q) disagrees with Get on %s", path, docJSON)
+		}
+
+		cp := d.Copy()
+		if err := cp.Set(path, val); err == nil {
+			got, ok := cp.Get(path)
+			if !ok {
+				t.Fatalf("Set(%q, %v) succeeded on %s but Get cannot see it", path, val, docJSON)
+			}
+			if !Equal(got, val) {
+				t.Fatalf("Set/Get mismatch at %q on %s: put %v, got %v", path, docJSON, val, got)
+			}
+			cp.Unset(path) // must not panic regardless of shape
+		}
+
+		if !Equal(d, orig) {
+			t.Fatalf("original document mutated by reads/copy-writes: %s -> %v", docJSON, d)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"matproj/internal/datastore"
 	"matproj/internal/document"
+	"matproj/internal/obs"
 )
 
 // Collection names: execution state lives in engines, full results in
@@ -41,6 +42,32 @@ type LaunchPad struct {
 	clock       func() float64
 	leaseSecs   float64
 	backoffBase float64
+
+	// obsReg, when set, receives workflow-tier counters (claims,
+	// completions, fizzles, lease renewals/losses) and the ready-queue
+	// depth gauge.
+	obsReg atomic.Pointer[obs.Registry]
+}
+
+// Observe wires the launchpad into a metrics registry (nil disables).
+func (lp *LaunchPad) Observe(reg *obs.Registry) {
+	lp.obsReg.Store(reg)
+}
+
+// count increments a fireworks.* counter when a registry is wired.
+func (lp *LaunchPad) count(name string) {
+	lp.obsReg.Load().Counter("fireworks." + name).Inc()
+}
+
+// gaugeQueueDepth refreshes the claimable-queue depth gauge. Costs one
+// count query, so it is only taken when a registry is wired and only at
+// natural sweep points (workflow add, lost-run sweeps).
+func (lp *LaunchPad) gaugeQueueDepth() {
+	reg := lp.obsReg.Load()
+	if reg == nil {
+		return
+	}
+	reg.Gauge("fireworks.ready_depth").Set(int64(lp.ReadyCount()))
 }
 
 // NewLaunchPad wires a launchpad to a store. maxReruns bounds automatic
@@ -148,6 +175,10 @@ func (lp *LaunchPad) AddWorkflow(fws []Firework) (string, error) {
 			return "", err
 		}
 	}
+	if reg := lp.obsReg.Load(); reg != nil {
+		reg.Counter("fireworks.added").Add(uint64(len(fws)))
+	}
+	lp.gaugeQueueDepth()
 	return wfID, nil
 }
 
@@ -244,6 +275,8 @@ func (lp *LaunchPad) Claim(workerID string, selector document.D) (*Claimed, erro
 		}
 		fwID := fw["_id"].(string)
 
+		lp.count("claims")
+
 		// Duplicate detection.
 		if key := fw.GetString("binder_key"); key != "" {
 			prior, err := lp.tasks.FindOne(document.D{"binder_key": key, "state": "successful"}, nil)
@@ -251,6 +284,7 @@ func (lp *LaunchPad) Claim(workerID string, selector document.D) (*Claimed, erro
 				if err := lp.completeWithPointer(fwID, prior["_id"].(string)); err != nil {
 					return nil, err
 				}
+				lp.count("duplicates_skipped")
 				continue // claim the next one
 			}
 			if !errors.Is(err, datastore.ErrNotFound) {
@@ -369,6 +403,9 @@ func (lp *LaunchPad) Complete(cl *Claimed, outcome *RunOutcome) error {
 	taskState := "successful"
 	if outcome.Failed {
 		taskState = "failed"
+		lp.count("runs_failed")
+	} else {
+		lp.count("runs_completed")
 	}
 	taskDoc := document.D{
 		"fw_id":      cl.FWID,
@@ -469,6 +506,7 @@ func (lp *LaunchPad) markCompleted(fwID string) error {
 		document.D{"$set": document.D{"state": string(StateCompleted)}}); err != nil {
 		return err
 	}
+	lp.count("completed")
 	return lp.onCompleted(fwID)
 }
 
@@ -527,6 +565,7 @@ func (lp *LaunchPad) rerun(fwID string, act Rerun) error {
 			}
 		}
 	}
+	lp.count("reruns")
 	_, err = lp.engines.UpdateOne(document.D{"_id": fwID},
 		document.D{"$set": document.D{"state": string(StateReady)},
 			"$inc": document.D{"reruns": 1}})
@@ -560,6 +599,8 @@ func (lp *LaunchPad) detour(fwID string, act Detour) error {
 		document.D{"$set": document.D{"state": string(StateFizzled), "superseded_by": newID}}); err != nil {
 		return err
 	}
+	lp.count("fizzled")
+	lp.count("detours")
 	return lp.Refresh(newID)
 }
 
@@ -616,6 +657,7 @@ func (lp *LaunchPad) defuse(fwID, reason string) error {
 		return err
 	}
 	wfID := fw.GetString("wf_id")
+	lp.count("defused")
 	if _, err := lp.engines.UpdateOne(document.D{"_id": fwID},
 		document.D{"$set": document.D{"state": string(StateDefused), "defuse_reason": reason}}); err != nil {
 		return err

@@ -88,8 +88,10 @@ func (lp *LaunchPad) Heartbeat(fwID, workerID string) error {
 		return err
 	}
 	if res.Matched == 0 {
+		lp.count("lease_losses")
 		return ErrLeaseLost
 	}
+	lp.count("lease_renewals")
 	return nil
 }
 
@@ -128,11 +130,13 @@ func (lp *LaunchPad) DetectLostRuns() (SweepStats, error) {
 			[]string{"_id"}, true)
 		if err != nil {
 			if errors.Is(err, datastore.ErrNotFound) {
+				lp.gaugeQueueDepth()
 				return stats, nil
 			}
 			return stats, err
 		}
 		stats.Scanned++
+		lp.count("lost_runs")
 		fwID := fw["_id"].(string)
 		reruns, _ := fw.GetInt("reruns")
 		if int(reruns) >= lp.maxReruns {
@@ -154,6 +158,7 @@ func (lp *LaunchPad) DetectLostRuns() (SweepStats, error) {
 			return stats, err
 		}
 		stats.Requeued++
+		lp.count("lost_requeued")
 	}
 }
 

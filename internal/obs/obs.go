@@ -1,0 +1,423 @@
+// Package obs is the live observability layer: a dependency-free metrics
+// registry (atomic counters, gauges, and log-bucketed latency histograms)
+// plus lightweight operation tracing with a bounded slow-op log. The
+// serving and workflow hot paths (datastore, queryengine, restapi,
+// fireworks) record into a Registry so a running mpserve/mpworker can
+// expose, live, the quantities the paper only reports offline: Fig. 5's
+// query-latency histogram and the weekly "3315 distinct queries returning
+// 12,951,099 records" accounting.
+//
+// Everything is safe under concurrent writers, and every method is
+// nil-receiver-safe so instrumented code can hold a nil *Registry or
+// *Tracer and pay (almost) nothing when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matproj/internal/stats"
+)
+
+// Fig. 5 bucket layout: latency histograms default to the exact bounds
+// the offline reproduction uses (internal/experiments.Fig5), so the text
+// rendering of a live /metrics histogram is shape-comparable with the
+// offline figure.
+const (
+	LatencyMinMs    = 0.001
+	LatencyMaxMs    = 1000
+	LatencyBuckets  = 12
+	defaultHistCap  = 64
+	defaultSlowRing = 256
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer value (queue depth, open handles).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets float64 observations logarithmically between Min and
+// Max (values outside clamp to the edge buckets), like stats.Histogram
+// but safe for concurrent writers: buckets, count, and sum are atomics.
+type Histogram struct {
+	min, max float64
+	logMin   float64
+	logSpan  float64
+	buckets  []atomic.Uint64
+	count    atomic.Uint64
+	sumBits  atomic.Uint64 // float64 bits, updated by CAS
+	maxBits  atomic.Uint64 // float64 bits of the largest observation
+}
+
+func newHistogram(min, max float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if min <= 0 {
+		min = 1e-9
+	}
+	if max <= min {
+		max = min * 10
+	}
+	return &Histogram{
+		min:     min,
+		max:     max,
+		logMin:  math.Log(min),
+		logSpan: math.Log(max) - math.Log(min),
+		buckets: make([]atomic.Uint64, buckets),
+	}
+}
+
+func (h *Histogram) bucketOf(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	if v >= h.max {
+		return len(h.buckets) - 1
+	}
+	idx := int((math.Log(v) - h.logMin) / h.logSpan * float64(len(h.buckets)))
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	return idx
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[h.bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Snapshot captures a consistent-enough view of the histogram. Bucket
+// counts are read individually, so a snapshot taken during writes may be
+// off by in-flight observations — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Min:    h.min,
+		Max:    h.max,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Peak:   math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, serializable
+// to JSON and renderable as the Fig. 5-style text histogram.
+type HistogramSnapshot struct {
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    float64  `json:"sum"`
+	Peak   float64  `json:"peak"`
+}
+
+// Mean returns the arithmetic mean of observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// toStats converts the snapshot into the offline stats.Histogram form so
+// rendering and bucket-quantile estimation are shared with the Fig. 5
+// reproduction code.
+func (s HistogramSnapshot) toStats() *stats.Histogram {
+	counts := make([]int, len(s.Counts))
+	for i, c := range s.Counts {
+		counts[i] = int(c)
+	}
+	return &stats.Histogram{Min: s.Min, Max: s.Max, Counts: counts}
+}
+
+// Quantile estimates the p-th percentile (0-100) from bucket counts.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if len(s.Counts) == 0 {
+		return 0
+	}
+	return s.toStats().CountQuantile(p)
+}
+
+// Render draws the snapshot as an ASCII histogram in the Fig. 5 style.
+func (s HistogramSnapshot) Render(unit string, width int) string {
+	if len(s.Counts) == 0 {
+		return ""
+	}
+	return s.toStats().Render(unit, width)
+}
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Metric lookup is get-or-create; all instruments are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	start    time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		start:    time.Now(),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, for binaries that do not
+// construct their own.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the named counter. Nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket layout. The layout of an existing histogram wins.
+func (r *Registry) Histogram(name string, min, max float64, buckets int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(min, max, buckets)
+	r.hists[name] = h
+	return h
+}
+
+// LatencyHistogram returns the named histogram with the Fig. 5 bucket
+// layout (0.001–1000 ms, 12 log buckets).
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	return r.Histogram(name, LatencyMinMs, LatencyMaxMs, LatencyBuckets)
+}
+
+// Uptime reports how long ago the registry was created.
+func (r *Registry) Uptime() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	At            time.Time                    `json:"at"`
+	UptimeSeconds float64                      `json:"uptime_s"`
+	Counters      map[string]uint64            `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric. Safe to call while writers are active.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		At:         time.Now(),
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.UptimeSeconds = time.Since(r.start).Seconds()
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot for terminals: counters and gauges
+// sorted by name, then each histogram in the Fig. 5 text format.
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "uptime: %.1fs\n", s.UptimeSeconds)
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "counter %-44s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "gauge   %-44s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "histogram %s: n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f peak=%.3f\n",
+			n, h.Count, h.Mean(), h.Quantile(50), h.Quantile(90), h.Quantile(99), h.Peak)
+		fmt.Fprint(w, h.Render("ms", 48))
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("x").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := r.Gauge("depth").Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.LatencyHistogram("lat")
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.5) // mid-range value
+	}
+	h.Observe(900) // one slow outlier
+	s := h.Snapshot()
+	if s.Count != 1001 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Peak != 900 {
+		t.Fatalf("peak = %v", s.Peak)
+	}
+	if m := s.Mean(); m < 0.5 || m > 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	p50 := s.Quantile(50)
+	if p50 < 0.05 || p50 > 5 {
+		t.Fatalf("p50 = %v out of expected band", p50)
+	}
+	if p999 := s.Quantile(99.95); p999 < 100 {
+		t.Fatalf("p99.95 = %v, want near the outlier bucket", p999)
+	}
+}
+
+func TestHistogramRenderSharesFig5Shape(t *testing.T) {
+	r := NewRegistry()
+	h := r.LatencyHistogram("lat")
+	for i := 0; i < 64; i++ {
+		h.Observe(1.0)
+	}
+	out := h.Snapshot().Render("ms", 48)
+	if !strings.Contains(out, "ms |") || !strings.Contains(out, "#") {
+		t.Fatalf("render missing histogram furniture:\n%s", out)
+	}
+	// 12 rows, one per Fig. 5 bucket.
+	if rows := strings.Count(out, "\n"); rows != LatencyBuckets {
+		t.Fatalf("rows = %d, want %d", rows, LatencyBuckets)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-1)
+	r.LatencyHistogram("c").Observe(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 3 || back.Gauges["b"] != -1 || back.Histograms["c"].Count != 1 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	var text bytes.Buffer
+	back.WriteText(&text)
+	if !strings.Contains(text.String(), "counter a") {
+		t.Fatalf("text render missing counter:\n%s", text.String())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.LatencyHistogram("z").Observe(1)
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var tr *Tracer
+	tr.Observe("op", "", time.Second)
+	tr.ObserveFunc("op", time.Second, func() string { return "d" })
+	sp := tr.Start("op")
+	sp.Finish()
+	if got := tr.SlowOps(); got != nil {
+		t.Fatal("nil tracer returned slow ops")
+	}
+}
+
+func TestTracerSlowLog(t *testing.T) {
+	tr := NewTracer(10*time.Millisecond, 4)
+	tr.Observe("fast", "", time.Millisecond)
+	for i := 0; i < 6; i++ {
+		tr.Observe("slow", "q", 20*time.Millisecond)
+	}
+	total, slow := tr.Counts()
+	if total != 7 || slow != 6 {
+		t.Fatalf("counts = %d/%d", total, slow)
+	}
+	ops := tr.SlowOps()
+	if len(ops) != 4 { // bounded ring
+		t.Fatalf("ring length = %d, want 4", len(ops))
+	}
+	for _, op := range ops {
+		if op.Op != "slow" || op.DurationMs < 19 {
+			t.Fatalf("bad entry %+v", op)
+		}
+	}
+	// Lazy detail must not run for fast ops.
+	ran := false
+	tr.ObserveFunc("fast", time.Millisecond, func() string { ran = true; return "" })
+	if ran {
+		t.Fatal("detail built for fast op")
+	}
+	tr.ObserveFunc("slow", time.Second, func() string { ran = true; return "lazy" })
+	if !ran {
+		t.Fatal("detail not built for slow op")
+	}
+	got := tr.SlowOps()
+	if got[len(got)-1].Detail != "lazy" {
+		t.Fatalf("lazy detail missing: %+v", got[len(got)-1])
+	}
+}
+
+func TestTracerThresholdRuntimeChange(t *testing.T) {
+	tr := NewTracer(time.Hour, 8)
+	tr.Observe("op", "", time.Second)
+	if _, slow := tr.Counts(); slow != 0 {
+		t.Fatal("op logged below threshold")
+	}
+	tr.SetThreshold(time.Millisecond)
+	if tr.Threshold() != time.Millisecond {
+		t.Fatal("threshold not updated")
+	}
+	tr.Observe("op", "", time.Second)
+	if _, slow := tr.Counts(); slow != 1 {
+		t.Fatal("op not logged after threshold drop")
+	}
+}

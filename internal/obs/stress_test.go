@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentStress hammers one registry with N writer
+// goroutines (counters, gauges, histograms, tracer spans — including
+// racing get-or-create on fresh names) while M readers snapshot and
+// render continuously. It must pass under -race, and the final counts
+// must balance exactly.
+func TestRegistryConcurrentStress(t *testing.T) {
+	const (
+		writers = 8
+		readers = 4
+		perG    = 2000
+	)
+	r := NewRegistry()
+	tr := NewTracer(time.Nanosecond, 64) // everything is "slow": max ring churn
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("stress.total").Inc()
+				r.Counter(fmt.Sprintf("stress.w%d", w)).Inc()
+				r.Gauge("stress.depth").Add(1)
+				r.Gauge("stress.depth").Add(-1)
+				r.LatencyHistogram("stress.lat").Observe(float64(i%100) / 10)
+				r.Histogram(fmt.Sprintf("stress.h%d", i%5), 0.1, 100, 8).Observe(1)
+				sp := tr.Start("stress.op")
+				sp.SetDetail("writer")
+				sp.Finish()
+			}
+		}(w)
+	}
+	for m := 0; m < readers; m++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				if h, ok := s.Histograms["stress.lat"]; ok && h.Count > 0 {
+					_ = h.Quantile(99)
+					_ = h.Render("ms", 20)
+				}
+				_ = tr.SlowOps()
+				_, _ = tr.Counts()
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counters["stress.total"]; got != writers*perG {
+		t.Fatalf("total = %d, want %d", got, writers*perG)
+	}
+	for w := 0; w < writers; w++ {
+		if got := s.Counters[fmt.Sprintf("stress.w%d", w)]; got != perG {
+			t.Fatalf("w%d = %d, want %d", w, got, perG)
+		}
+	}
+	if got := s.Gauges["stress.depth"]; got != 0 {
+		t.Fatalf("depth gauge = %d, want 0", got)
+	}
+	lat := s.Histograms["stress.lat"]
+	if lat.Count != writers*perG {
+		t.Fatalf("hist count = %d, want %d", lat.Count, writers*perG)
+	}
+	var bucketSum uint64
+	for _, c := range lat.Counts {
+		bucketSum += c
+	}
+	if bucketSum != lat.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, lat.Count)
+	}
+	total, slow := tr.Counts()
+	if total != writers*perG || slow != writers*perG {
+		t.Fatalf("tracer counts = %d/%d, want %d", total, slow, writers*perG)
+	}
+}

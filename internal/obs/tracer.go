@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records per-operation spans and keeps a bounded ring of the
+// slow ones: any finished span whose duration meets the threshold lands
+// in the slow-op log with its detail string (the slow-query log). All
+// methods are nil-receiver-safe and safe for concurrent use.
+type Tracer struct {
+	thresholdNs atomic.Int64
+	total       atomic.Uint64
+	slow        atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []SlowOp
+	next   int
+	filled bool
+}
+
+// SlowOp is one logged slow operation.
+type SlowOp struct {
+	Op         string    `json:"op"`
+	Detail     string    `json:"detail,omitempty"`
+	DurationMs float64   `json:"duration_ms"`
+	At         time.Time `json:"at"`
+}
+
+// NewTracer returns a tracer logging operations at or above threshold,
+// retaining the most recent capacity slow ops (default 256 when <= 0).
+func NewTracer(threshold time.Duration, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = defaultSlowRing
+	}
+	t := &Tracer{ring: make([]SlowOp, capacity)}
+	t.thresholdNs.Store(int64(threshold))
+	return t
+}
+
+// SetThreshold changes the slow-op threshold at runtime.
+func (t *Tracer) SetThreshold(d time.Duration) {
+	if t != nil {
+		t.thresholdNs.Store(int64(d))
+	}
+}
+
+// Threshold reports the current slow-op threshold.
+func (t *Tracer) Threshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.thresholdNs.Load())
+}
+
+// Span is one in-flight traced operation.
+type Span struct {
+	t      *Tracer
+	op     string
+	detail string
+	start  time.Time
+}
+
+// Start opens a span for op. Finish (or FinishDetail) closes it.
+func (t *Tracer) Start(op string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, op: op, start: time.Now()}
+}
+
+// SetDetail attaches the detail string logged if the span turns out slow.
+func (sp *Span) SetDetail(detail string) {
+	sp.detail = detail
+}
+
+// Finish closes the span, logging it when slow, and returns its duration.
+func (sp Span) Finish() time.Duration {
+	if sp.t == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	sp.t.record(sp.op, sp.detail, d, sp.start)
+	return d
+}
+
+// Observe records an already-measured operation.
+func (t *Tracer) Observe(op, detail string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(op, detail, d, time.Now().Add(-d))
+}
+
+// ObserveFunc is Observe with a lazily built detail string: detail() runs
+// only when the operation is slow enough to be logged, keeping the fast
+// path free of formatting work.
+func (t *Tracer) ObserveFunc(op string, d time.Duration, detail func() string) {
+	if t == nil {
+		return
+	}
+	t.total.Add(1)
+	if int64(d) < t.thresholdNs.Load() {
+		return
+	}
+	t.logSlow(op, detail(), d, time.Now().Add(-d))
+}
+
+func (t *Tracer) record(op, detail string, d time.Duration, start time.Time) {
+	t.total.Add(1)
+	if int64(d) < t.thresholdNs.Load() {
+		return
+	}
+	t.logSlow(op, detail, d, start)
+}
+
+func (t *Tracer) logSlow(op, detail string, d time.Duration, start time.Time) {
+	t.slow.Add(1)
+	entry := SlowOp{Op: op, Detail: detail, DurationMs: float64(d) / float64(time.Millisecond), At: start}
+	t.mu.Lock()
+	t.ring[t.next] = entry
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// SlowOps returns the retained slow operations, oldest first.
+func (t *Tracer) SlowOps() []SlowOp {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		out := make([]SlowOp, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]SlowOp, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Counts reports how many operations were traced and how many crossed
+// the slow threshold.
+func (t *Tracer) Counts() (total, slow uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.total.Load(), t.slow.Load()
+}

@@ -20,6 +20,7 @@ import (
 	"matproj/internal/fireworks"
 	"matproj/internal/hpc"
 	"matproj/internal/icsd"
+	"matproj/internal/obs"
 	"matproj/internal/queryengine"
 )
 
@@ -43,6 +44,12 @@ type Config struct {
 	// appends) into the computation tier; the build must still converge
 	// via lost-run recovery. Typically a *faults.Injector.
 	Faults ChaosFaults
+	// Obs, when non-nil, wires the whole deployment — datastore,
+	// launchpad, and query engine — into a live metrics registry.
+	Obs *obs.Registry
+	// Tracer, when non-nil, feeds slow operations from the datastore and
+	// query engine into a bounded slow-query log.
+	Tracer *obs.Tracer
 }
 
 // ChaosFaults is the combined fault surface the pipeline can wire into
@@ -96,6 +103,9 @@ func Build(cfg Config) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil || cfg.Tracer != nil {
+		store.Observe(cfg.Obs, cfg.Tracer)
+	}
 	d := &Deployment{Store: store}
 
 	// 1. Input data: synthetic ICSD → mps collection (§III-B1).
@@ -104,6 +114,9 @@ func Build(cfg Config) (*Deployment, error) {
 	mps.EnsureIndex("nelectrons")
 	recs := icsd.Generate(icsd.Config{Seed: cfg.Seed, DuplicateRate: cfg.DuplicateRate}, cfg.NMaterials)
 	pad := fireworks.NewLaunchPad(store, 5)
+	if cfg.Obs != nil {
+		pad.Observe(cfg.Obs)
+	}
 	fireworks.RegisterVASP(pad)
 	d.Pad = pad
 	var fws []fireworks.Firework
@@ -166,6 +179,9 @@ func Build(cfg Config) (*Deployment, error) {
 
 	// 5. Dissemination layer: QueryEngine with the standard aliases.
 	eng := queryengine.New(store, queryengine.WithRateLimit(10000, time.Minute))
+	if cfg.Obs != nil || cfg.Tracer != nil {
+		eng.Observe(cfg.Obs, cfg.Tracer)
+	}
 	eng.AddAlias("materials", "formula", "pretty_formula")
 	eng.AddAlias("materials", "energy", "final_energy")
 	eng.AddAlias("materials", "bandgap", "band_gap")

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"testing"
+
+	"matproj/internal/document"
+)
+
+// FuzzFilterCompileMatch throws arbitrary filter/document pairs at the
+// compile-and-match path. Invalid JSON and rejected filters are fine; the
+// invariants are that nothing panics, that a compiled filter is a pure
+// function of its input document, and that recompiling the same filter
+// yields the same verdict (Compile must not consume its argument).
+func FuzzFilterCompileMatch(f *testing.F) {
+	seeds := [][2]string{
+		{`{"a": 1}`, `{"a": 1}`},
+		{`{"elements": {"$all": ["Li", "O"]}}`, `{"elements": ["Li", "O", "Fe"]}`},
+		{`{"nelectrons": {"$lte": 200, "$gte": 10}}`, `{"nelectrons": 120}`},
+		{`{"$or": [{"a": 1}, {"b": {"$in": [1, 2]}}]}`, `{"b": 2}`},
+		{`{"$and": [{"a": {"$exists": true}}, {"a": {"$ne": null}}]}`, `{"a": 0}`},
+		{`{"a.b.c": {"$exists": true}}`, `{"a": {"b": {"c": null}}}`},
+		{`{"name": {"$regex": "^Li"}}`, `{"name": "LiFePO4"}`},
+		{`{"a": {"$not": {"$gt": 3}}}`, `{"a": [1, 2, 5]}`},
+		{`{"x": {"$ne": "y"}}`, `{}`},
+		{`{"a": {"$size": 2}}`, `{"a": [null, {"b": []}]}`},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, filterJSON, docJSON string) {
+		fd, err := document.FromJSON([]byte(filterJSON))
+		if err != nil {
+			t.Skip()
+		}
+		doc, err := document.FromJSON([]byte(docJSON))
+		if err != nil {
+			t.Skip()
+		}
+		flt, err := Compile(fd)
+		if err != nil {
+			return // rejection is allowed; panicking is not
+		}
+		got := flt.Matches(doc)
+		if again := flt.Matches(doc); again != got {
+			t.Fatalf("Matches not deterministic for filter %s doc %s: %v then %v",
+				filterJSON, docJSON, got, again)
+		}
+		flt2, err := Compile(fd)
+		if err != nil {
+			t.Fatalf("filter %s compiled once but not twice: %v", filterJSON, err)
+		}
+		if flt2.Matches(doc) != got {
+			t.Fatalf("recompiled filter %s disagrees on doc %s", filterJSON, docJSON)
+		}
+	})
+}
+
+// FuzzUpdateApply drives the update compiler and applier with arbitrary
+// operator documents. Compile/apply errors are acceptable outcomes; the
+// invariants are no panics, deterministic application to identical
+// copies, and a result that still serializes as JSON.
+func FuzzUpdateApply(f *testing.F) {
+	seeds := [][2]string{
+		{`{"$set": {"a.b": 5}}`, `{"a": {"b": 1}}`},
+		{`{"$unset": {"a": 1}}`, `{"a": 1, "b": 2}`},
+		{`{"$inc": {"n": 2}, "$mul": {"m": 3}}`, `{"n": 1, "m": 4}`},
+		{`{"$min": {"x": 1}, "$max": {"y": 9}}`, `{"x": 5, "y": 5}`},
+		{`{"$push": {"tags": "new"}}`, `{"tags": ["old"]}`},
+		{`{"$addToSet": {"tags": "old"}}`, `{"tags": ["old"]}`},
+		{`{"$pull": {"tags": "old"}}`, `{"tags": ["old", "new"]}`},
+		{`{"$pop": {"tags": 1}}`, `{"tags": [1, 2, 3]}`},
+		{`{"$rename": {"a": "b"}}`, `{"a": 7}`},
+		{`{"state": "ready", "priority": 3}`, `{"_id": "fw-1", "state": "waiting"}`},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, updateJSON, docJSON string) {
+		ud, err := document.FromJSON([]byte(updateJSON))
+		if err != nil {
+			t.Skip()
+		}
+		doc, err := document.FromJSON([]byte(docJSON))
+		if err != nil {
+			t.Skip()
+		}
+		upd, err := CompileUpdate(ud)
+		if err != nil {
+			return
+		}
+		out, err := upd.Apply(doc.Copy())
+		if err != nil {
+			return // runtime rejection (e.g. $inc on a string) is allowed
+		}
+		out2, err := upd.Apply(doc.Copy())
+		if err != nil {
+			t.Fatalf("update %s applied once but not twice to %s: %v", updateJSON, docJSON, err)
+		}
+		if !document.Equal(out, out2) {
+			t.Fatalf("update %s not deterministic on %s:\n%v\n%v", updateJSON, docJSON, out, out2)
+		}
+		if _, err := out.ToJSON(); err != nil {
+			t.Fatalf("update %s on %s produced unserializable document: %v", updateJSON, docJSON, err)
+		}
+	})
+}

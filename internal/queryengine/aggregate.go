@@ -2,6 +2,7 @@ package queryengine
 
 import (
 	"fmt"
+	"time"
 
 	"matproj/internal/document"
 )
@@ -21,7 +22,9 @@ var allowedStages = map[string]bool{
 // physical field names (aliases apply to filters only, as with the find
 // path's projections... filters; this mirrors the production API, where
 // aggregation users were expected to know the stored schema).
-func (e *Engine) Aggregate(user, collection string, stages []document.D) ([]document.D, error) {
+func (e *Engine) Aggregate(user, collection string, stages []document.D) (docs []document.D, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("aggregate", collection, nil, start, len(docs), err) }()
 	if err := e.checkRate(user); err != nil {
 		return nil, err
 	}

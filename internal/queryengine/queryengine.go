@@ -11,19 +11,29 @@
 package queryengine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"matproj/internal/datastore"
 	"matproj/internal/document"
+	"matproj/internal/obs"
 )
 
 // Engine is a sanitizing, aliasing facade over a datastore.
 type Engine struct {
 	store *datastore.Store
+
+	// Live observability (nil when not wired). Because every client read
+	// and write flows through the Engine, these histograms are the live
+	// counterpart of Fig. 5: per-op latency plus documents-returned
+	// accounting.
+	obsReg atomic.Pointer[obs.Registry]
+	obsTr  atomic.Pointer[obs.Tracer]
 
 	mu sync.RWMutex
 	// aliases maps collection -> alias -> physical dotted path.
@@ -62,6 +72,53 @@ func New(store *datastore.Store, opts ...Option) *Engine {
 		o(e)
 	}
 	return e
+}
+
+// Observe wires the engine into a metrics registry and slow-query tracer
+// (either may be nil). Safe to call while queries are flowing.
+func (e *Engine) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	e.obsReg.Store(reg)
+	e.obsTr.Store(tr)
+}
+
+// observeOp records one engine operation: a per-op latency histogram and
+// count, a documents-returned counter, error/rate-limit counters, and —
+// when the op crosses the tracer threshold — a slow-query log entry with
+// the collection and filter.
+func (e *Engine) observeOp(op, collection string, filter document.D, start time.Time, returned int, err error) {
+	reg := e.obsReg.Load()
+	tr := e.obsTr.Load()
+	if reg == nil && tr == nil {
+		return
+	}
+	dur := time.Since(start)
+	if reg != nil {
+		reg.Counter("query." + op + ".count").Inc()
+		reg.LatencyHistogram("query." + op + "_ms").ObserveDuration(dur)
+		if returned > 0 {
+			reg.Counter("query.docs_returned").Add(uint64(returned))
+		}
+		if err != nil {
+			if errors.Is(err, ErrRateLimited) {
+				reg.Counter("query.rate_limited").Inc()
+			} else {
+				reg.Counter("query.errors").Inc()
+			}
+		}
+	}
+	tr.ObserveFunc("query."+op, dur, func() string {
+		detail := "collection=" + collection
+		if filter != nil {
+			if b, jerr := filter.ToJSON(); jerr == nil {
+				f := string(b)
+				if len(f) > 200 {
+					f = f[:200] + "..."
+				}
+				detail += " filter=" + f
+			}
+		}
+		return fmt.Sprintf("%s returned=%d", detail, returned)
+	})
 }
 
 // AddAlias installs alias -> path for one collection, so clients can write
@@ -266,7 +323,9 @@ func (e *Engine) checkRate(user string) error {
 }
 
 // Find runs a sanitized, alias-translated query for a user.
-func (e *Engine) Find(user, collection string, filter document.D, opts *datastore.FindOpts) ([]document.D, error) {
+func (e *Engine) Find(user, collection string, filter document.D, opts *datastore.FindOpts) (docs []document.D, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("find", collection, filter, start, len(docs), err) }()
 	if err := e.checkRate(user); err != nil {
 		return nil, err
 	}
@@ -328,7 +387,9 @@ func (e *Engine) FindOne(user, collection string, filter document.D, opts *datas
 }
 
 // Count counts matching documents.
-func (e *Engine) Count(user, collection string, filter document.D) (int, error) {
+func (e *Engine) Count(user, collection string, filter document.D) (n int, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("count", collection, filter, start, n, err) }()
 	if err := e.checkRate(user); err != nil {
 		return 0, err
 	}
@@ -340,7 +401,9 @@ func (e *Engine) Count(user, collection string, filter document.D) (int, error) 
 }
 
 // Distinct lists distinct values of a (possibly aliased) field.
-func (e *Engine) Distinct(user, collection, field string, filter document.D) ([]any, error) {
+func (e *Engine) Distinct(user, collection, field string, filter document.D) (vals []any, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("distinct", collection, filter, start, len(vals), err) }()
 	if err := e.checkRate(user); err != nil {
 		return nil, err
 	}
@@ -359,7 +422,9 @@ func (e *Engine) Distinct(user, collection, field string, filter document.D) ([]
 }
 
 // Update applies a sanitized update; many selects UpdateMany.
-func (e *Engine) Update(user, collection string, filter, update document.D, many bool) (datastore.UpdateResult, error) {
+func (e *Engine) Update(user, collection string, filter, update document.D, many bool) (res datastore.UpdateResult, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("update", collection, filter, start, res.Modified, err) }()
 	if err := e.checkRate(user); err != nil {
 		return datastore.UpdateResult{}, err
 	}
@@ -379,7 +444,9 @@ func (e *Engine) Update(user, collection string, filter, update document.D, many
 }
 
 // Insert stores a document (top-level alias keys are translated).
-func (e *Engine) Insert(user, collection string, doc document.D) (string, error) {
+func (e *Engine) Insert(user, collection string, doc document.D) (id string, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("insert", collection, nil, start, 0, err) }()
 	if err := e.checkRate(user); err != nil {
 		return "", err
 	}

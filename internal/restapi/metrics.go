@@ -1,0 +1,174 @@
+package restapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"matproj/internal/obs"
+)
+
+// Observe wires the server into a metrics registry and slow-op tracer
+// (either may be nil). The HTTP middleware then records per-endpoint
+// status counters and latency histograms, and GET /metrics and
+// GET /status expose the registry live. Safe to call before serving
+// starts or while requests are in flight.
+func (s *Server) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	s.obsReg.Store(reg)
+	s.obsTr.Store(tr)
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in, so a
+// public deployment does not expose profiling by default. Call before
+// serving traffic.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps an endpoint handler with per-endpoint metrics: a
+// latency histogram (http.<name>_ms), request and status-class counters,
+// and a slow-op log entry when the request crosses the tracer threshold.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := s.obsReg.Load()
+		tr := s.obsTr.Load()
+		if reg == nil && tr == nil {
+			h(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h(rec, r)
+		dur := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		if reg != nil {
+			reg.Counter("http.requests").Inc()
+			reg.Counter("http." + name + ".count").Inc()
+			reg.Counter(fmt.Sprintf("http.%s.status.%d", name, rec.status)).Inc()
+			reg.LatencyHistogram("http." + name + "_ms").ObserveDuration(dur)
+		}
+		path := r.URL.Path
+		tr.ObserveFunc("http."+name, dur, func() string {
+			return fmt.Sprintf("%s %s status=%d", r.Method, path, rec.status)
+		})
+	}
+}
+
+// metricsPayload is the GET /metrics JSON document.
+type metricsPayload struct {
+	obs.Snapshot
+	SlowThresholdMs float64      `json:"slow_threshold_ms,omitempty"`
+	SlowOps         []obs.SlowOp `json:"slow_ops,omitempty"`
+	SlowOpsTotal    uint64       `json:"slow_ops_total"`
+	OpsTraced       uint64       `json:"ops_traced"`
+}
+
+// handleMetrics serves the live registry. JSON by default;
+// ?format=text renders counters, gauges, and the Fig. 5-style text
+// histograms (per-endpoint latency included) plus the slow-query log.
+// Unauthenticated by design: it is an operator endpoint, exposed on the
+// same mux for deployment simplicity.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.obsReg.Load()
+	tr := s.obsTr.Load()
+	payload := metricsPayload{Snapshot: reg.Snapshot()}
+	if tr != nil {
+		payload.SlowThresholdMs = float64(tr.Threshold()) / float64(time.Millisecond)
+		payload.SlowOps = tr.SlowOps()
+		payload.OpsTraced, payload.SlowOpsTotal = tr.Counts()
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		payload.Snapshot.WriteText(w)
+		if len(payload.SlowOps) > 0 {
+			fmt.Fprintf(w, "slow ops (threshold %.1f ms, %d logged of %d):\n",
+				payload.SlowThresholdMs, len(payload.SlowOps), payload.SlowOpsTotal)
+			for _, op := range payload.SlowOps {
+				fmt.Fprintf(w, "  %s %10.3f ms  %s  %s\n",
+					op.At.Format("15:04:05.000"), op.DurationMs, op.Op, op.Detail)
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
+// statusPayload is the GET /status JSON document: uptime plus the store
+// and profiler headline numbers (the paper's weekly-accounting style:
+// operations served and records returned).
+type statusPayload struct {
+	UptimeSeconds float64            `json:"uptime_s"`
+	Collections   []string           `json:"collections"`
+	Documents     int                `json:"documents"`
+	Bytes         int                `json:"bytes"`
+	StoreOps      uint64             `json:"store_ops"`
+	RecordsServed uint64             `json:"records_served"`
+	Requests      uint64             `json:"http_requests"`
+	AuthFailures  uint64             `json:"auth_failures"`
+	EndpointP50Ms map[string]float64 `json:"endpoint_p50_ms,omitempty"`
+}
+
+// handleStatus serves a one-page summary of the deployment.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.Store.Stats()
+	ops, records := s.Store.Profiler().Totals()
+	payload := statusPayload{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Collections:   s.Store.Collections(),
+		Documents:     st.Documents,
+		Bytes:         st.Bytes,
+		StoreOps:      ops,
+		RecordsServed: records,
+	}
+	if reg := s.obsReg.Load(); reg != nil {
+		snap := reg.Snapshot()
+		payload.Requests = snap.Counters["http.requests"]
+		payload.AuthFailures = snap.Counters["http.auth_failures"]
+		payload.EndpointP50Ms = map[string]float64{}
+		names := make([]string, 0, len(snap.Histograms))
+		for n := range snap.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if h := snap.Histograms[n]; strings.HasPrefix(n, "http.") && h.Count > 0 {
+				payload.EndpointP50Ms[strings.TrimSuffix(strings.TrimPrefix(n, "http."), "_ms")] = h.Quantile(50)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}

@@ -1,0 +1,160 @@
+package restapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"matproj/internal/obs"
+)
+
+// instrumentedServer is the e2e fixture: the standard test corpus plus a
+// live registry and an everything-is-slow tracer wired in before serving.
+func instrumentedServer(t *testing.T) (*httptest.Server, string, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	store := newTestStore(t)
+	eng := newTestEngine(store)
+	auth := NewAuth(store)
+	api := NewServer(eng, auth, store)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(time.Nanosecond, 32)
+	api.Observe(reg, tr)
+	api.EnablePprof()
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	key, err := auth.Signup("google", "alice@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, key, reg, tr
+}
+
+// TestObservabilityEndToEnd drives an instrumented API over HTTP: a
+// materials query round-trip, an auth failure, then /metrics (JSON and
+// text render) and /status must reflect exactly that traffic.
+func TestObservabilityEndToEnd(t *testing.T) {
+	srv, key, _, _ := instrumentedServer(t)
+
+	status, env := get(t, srv, key, "/rest/v1/materials/Fe2O3/vasp/energy")
+	if status != http.StatusOK || !env.Valid {
+		t.Fatalf("materials round-trip: status=%d env=%+v", status, env)
+	}
+	if status, _ := get(t, srv, "bad-key", "/rest/v1/materials/Fe2O3/vasp/energy"); status != http.StatusUnauthorized {
+		t.Fatalf("bad key: status=%d, want 401", status)
+	}
+
+	// JSON /metrics: the traffic above, counted per endpoint and status.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+		SlowOpsTotal uint64            `json:"slow_ops_total"`
+		SlowOps      []json.RawMessage `json:"slow_ops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := payload.Counters["http.materials.count"]; got != 2 {
+		t.Fatalf("http.materials.count = %d, want 2", got)
+	}
+	if got := payload.Counters["http.materials.status.401"]; got != 1 {
+		t.Fatalf("http.materials.status.401 = %d, want 1", got)
+	}
+	if got := payload.Counters["http.auth_failures"]; got != 1 {
+		t.Fatalf("http.auth_failures = %d, want 1", got)
+	}
+	if got := payload.Histograms["http.materials_ms"].Count; got != 2 {
+		t.Fatalf("http.materials_ms count = %d, want 2", got)
+	}
+	if payload.SlowOpsTotal == 0 || len(payload.SlowOps) == 0 {
+		t.Fatalf("slow-query log empty despite 1ns threshold: total=%d logged=%d",
+			payload.SlowOpsTotal, len(payload.SlowOps))
+	}
+
+	// Text render: per-endpoint latency histogram in the Fig. 5 shape.
+	resp, err = http.Get(srv.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{"histogram http.materials_ms", "counter http.materials.status.401", "slow ops", " ms |"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// /status: deployment headline numbers.
+	resp, err = http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		UptimeSeconds float64            `json:"uptime_s"`
+		Collections   []string           `json:"collections"`
+		Requests      uint64             `json:"http_requests"`
+		AuthFailures  uint64             `json:"auth_failures"`
+		EndpointP50Ms map[string]float64 `json:"endpoint_p50_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.AuthFailures != 1 {
+		t.Fatalf("status auth_failures = %d, want 1", st.AuthFailures)
+	}
+	if st.Requests < 2 {
+		t.Fatalf("status http_requests = %d, want >= 2", st.Requests)
+	}
+	if _, ok := st.EndpointP50Ms["materials"]; !ok {
+		t.Fatalf("status lacks materials p50: %+v", st.EndpointP50Ms)
+	}
+	if len(st.Collections) == 0 || st.UptimeSeconds <= 0 {
+		t.Fatalf("implausible status: %+v", st)
+	}
+
+	// pprof is mounted (opt-in was exercised by the fixture).
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status=%d", resp.StatusCode)
+	}
+}
+
+// TestUninstrumentedServerServesMetricsGracefully: without Observe, the
+// endpoints still answer (empty snapshot) and the middleware adds no
+// bookkeeping.
+func TestUninstrumentedServerServesMetricsGracefully(t *testing.T) {
+	srv, key := testServer(t)
+	if status, env := get(t, srv, key, "/rest/v1/materials/Fe2O3/vasp/energy"); status != http.StatusOK || !env.Valid {
+		t.Fatalf("round-trip: status=%d", status)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Counters) != 0 {
+		t.Fatalf("uninstrumented server recorded counters: %v", payload.Counters)
+	}
+}

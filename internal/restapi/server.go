@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"matproj/internal/crystal"
 	"matproj/internal/datastore"
 	"matproj/internal/document"
+	"matproj/internal/obs"
 	"matproj/internal/queryengine"
 )
 
@@ -38,6 +41,13 @@ type Server struct {
 	// "materials").
 	MaterialsCollection string
 	mux                 *http.ServeMux
+	start               time.Time
+
+	// Live observability (nil when not wired via Observe). The
+	// middleware records per-endpoint status and latency; /metrics and
+	// /status expose the registry, slow-query log, and store totals.
+	obsReg atomic.Pointer[obs.Registry]
+	obsTr  atomic.Pointer[obs.Tracer]
 }
 
 // NewServer builds the API server over an engine and store.
@@ -47,15 +57,18 @@ func NewServer(engine *queryengine.Engine, auth *Auth, store *datastore.Store) *
 		Auth:                auth,
 		Store:               store,
 		MaterialsCollection: "materials",
+		start:               time.Now(),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /auth/signup", s.handleSignup)
-	mux.HandleFunc("GET /rest/v1/materials/", s.handleMaterials)
-	mux.HandleFunc("POST /rest/v1/query", s.handleQuery)
-	mux.HandleFunc("POST /rest/v1/aggregate", s.handleAggregate)
-	mux.HandleFunc("GET /rest/v1/bandstructure/", s.handleDerived("bandstructures"))
-	mux.HandleFunc("GET /rest/v1/xrd/", s.handleDerived("xrd"))
-	mux.HandleFunc("GET /rest/v1/batteries", s.handleBatteries)
+	mux.HandleFunc("POST /auth/signup", s.instrument("signup", s.handleSignup))
+	mux.HandleFunc("GET /rest/v1/materials/", s.instrument("materials", s.handleMaterials))
+	mux.HandleFunc("POST /rest/v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /rest/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
+	mux.HandleFunc("GET /rest/v1/bandstructure/", s.instrument("bandstructure", s.handleDerived("bandstructures")))
+	mux.HandleFunc("GET /rest/v1/xrd/", s.instrument("xrd", s.handleDerived("xrd")))
+	mux.HandleFunc("GET /rest/v1/batteries", s.instrument("batteries", s.handleBatteries))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux = mux
 	return s
 }
@@ -94,6 +107,7 @@ func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (string, b
 	}
 	email, ok := s.Auth.Lookup(key)
 	if !ok {
+		s.obsReg.Load().Counter("http.auth_failures").Inc()
 		writeErr(w, http.StatusUnauthorized, "missing or invalid API key")
 		return "", false
 	}

@@ -17,9 +17,8 @@ import (
 
 func doc(s string) document.D { return document.MustFromJSON(s) }
 
-// testServer builds a server over a small materials corpus and returns
-// it with a valid API key.
-func testServer(t *testing.T, opts ...queryengine.Option) (*httptest.Server, string) {
+// newTestStore seeds the small materials corpus shared by the API tests.
+func newTestStore(t *testing.T) *datastore.Store {
 	t.Helper()
 	store := datastore.MustOpenMemory()
 	mats := store.C("materials")
@@ -37,8 +36,19 @@ func testServer(t *testing.T, opts ...queryengine.Option) (*httptest.Server, str
 	store.C("xrd").Insert(doc(`{"material_id": "mat-1", "npeaks": 7}`))
 	store.C("batteries").Insert(doc(`{"battery_id": "bat-1", "working_ion": "Li", "voltage": 3.4}`))
 	store.C("batteries").Insert(doc(`{"battery_id": "bat-2", "working_ion": "Na", "voltage": 2.9}`))
+	return store
+}
 
-	eng := queryengine.New(store, opts...)
+func newTestEngine(store *datastore.Store, opts ...queryengine.Option) *queryengine.Engine {
+	return queryengine.New(store, opts...)
+}
+
+// testServer builds a server over a small materials corpus and returns
+// it with a valid API key.
+func testServer(t *testing.T, opts ...queryengine.Option) (*httptest.Server, string) {
+	t.Helper()
+	store := newTestStore(t)
+	eng := newTestEngine(store, opts...)
 	auth := NewAuth(store)
 	srv := httptest.NewServer(NewServer(eng, auth, store))
 	t.Cleanup(srv.Close)

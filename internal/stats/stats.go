@@ -99,6 +99,44 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// CountQuantile estimates the p-th percentile (0-100) from the bucket
+// counts alone, interpolating linearly inside the winning bucket. Unlike
+// Percentile it needs no retained values, so it also serves histograms
+// reconstructed from counts (e.g. live obs snapshots).
+func (h *Histogram) CountQuantile(p float64) float64 {
+	var total int
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo, hi := h.BucketBounds(i)
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(c)
+	}
+	_, hi := h.BucketBounds(len(h.Counts) - 1)
+	return hi
+}
+
 // Render draws an ASCII histogram, one row per bucket, in the spirit of
 // Fig. 5. unit labels the values (e.g. "ms").
 func (h *Histogram) Render(unit string, width int) string {

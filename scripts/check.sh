@@ -1,7 +1,17 @@
 #!/usr/bin/env sh
-# Repository gate: vet plus the full test suite under the race detector.
+# Repository gate: vet, build, the full test suite under the race
+# detector, and a short fuzz smoke over each fuzz target (seed corpus
+# plus a few seconds of mutation — enough to catch regressions in the
+# filter/update/path invariants without turning CI into a fuzz farm).
 set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+FUZZTIME="${FUZZTIME:-5s}"
+echo "fuzz smoke (${FUZZTIME} per target)..."
+go test ./internal/query/ -run '^$' -fuzz '^FuzzFilterCompileMatch$' -fuzztime "$FUZZTIME"
+go test ./internal/query/ -run '^$' -fuzz '^FuzzUpdateApply$' -fuzztime "$FUZZTIME"
+go test ./internal/document/ -run '^$' -fuzz '^FuzzDocumentPath$' -fuzztime "$FUZZTIME"
+echo "check: all green"
