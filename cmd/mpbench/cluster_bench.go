@@ -1,0 +1,253 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matproj/internal/cluster"
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/experiments"
+	"matproj/internal/obs"
+	"matproj/internal/queryengine"
+	"matproj/internal/shard"
+)
+
+// The cluster experiment compares the same Find and Aggregate workloads
+// on a standalone store against a networked router fronting 1, 2, and 4
+// shard nodes (each an in-process HTTP server), writing
+// BENCH_cluster.json.
+//
+// The corpus is sharded on its "group" field, so the experiment measures
+// both faces of §IV-D2 sharding:
+//
+//   - targeted workloads ({group: k} equality, and pipelines whose
+//     leading $match pins the key): the router routes to ONE shard whose
+//     collection is 1/N the corpus, so the unindexed scan behind each
+//     query shrinks with the fleet — throughput rises over 1 shard even
+//     on a single-core host, because the win is partitioned data, not
+//     parallel CPU;
+//   - scatter workloads (no shard key in the filter): every shard scans
+//     and the router merge-sorts, which buys latency only when shards
+//     run on real parallel hardware and otherwise pays the fan-out tax.
+//
+// The headline scaling claim rides on the targeted numbers.
+
+// clusterBenchResult is one timed workload in BENCH_cluster.json.
+type clusterBenchResult struct {
+	Name      string  `json:"name"`
+	Shards    int     `json:"shards"` // 0 = standalone (no network)
+	Iters     int     `json:"iters"`
+	MsPerOp   float64 `json:"ms_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+const benchGroups = 40 // distinct "group" values (the shard key)
+
+// clusterBenchDoc synthesizes one row of the bench corpus.
+func clusterBenchDoc(rng *rand.Rand, i int) document.D {
+	elements := []string{"Li", "Fe", "O", "P", "Na", "Cl", "Mn", "Co", "Ni", "S"}
+	els := make([]any, 0, 3)
+	for _, e := range rng.Perm(len(elements))[:3] {
+		els = append(els, elements[e])
+	}
+	return document.D{
+		"_id":      fmt.Sprintf("bench-%06d", i),
+		"value":    rng.Float64() * 100,
+		"group":    int64(rng.Intn(benchGroups)),
+		"elements": els,
+	}
+}
+
+// loadDirect places the corpus straight into the member stores using the
+// same hash the router routes by — loading is not what this experiment
+// measures, only serving.
+func loadDirect(nodes [][]*cluster.Node, docs []document.D) {
+	for _, d := range docs {
+		gi := shard.HashShard(d["group"], len(nodes))
+		for _, n := range nodes[gi] {
+			n.Store().C("bench").Insert(d)
+		}
+	}
+}
+
+// timedConcurrent drives f from workers goroutines for iters total ops.
+// Each call receives a rotating sequence number (for workloads that vary
+// a parameter per op).
+func timedConcurrent(name string, shards, iters, workers int, f func(seq int) error) (clusterBenchResult, error) {
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters/workers; i++ {
+				if err := f(int(seq.Add(1))); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return clusterBenchResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	done := (iters / workers) * workers
+	per := float64(elapsed.Nanoseconds()) / float64(done)
+	return clusterBenchResult{
+		Name:      name,
+		Shards:    shards,
+		Iters:     done,
+		MsPerOp:   per / 1e6,
+		OpsPerSec: float64(done) / elapsed.Seconds(),
+	}, nil
+}
+
+func runClusterBench(sc experiments.Scale, out string) error {
+	nDocs := 24000
+	iters := 160
+	if sc.Materials < 100 { // small scale: keep CI fast
+		nDocs = 6000
+		iters = 80
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	docs := make([]document.D, nDocs)
+	for i := range docs {
+		docs[i] = clusterBenchDoc(rng, i)
+	}
+
+	// Scatter workload: no shard key in the filter, every shard scans.
+	scatterFilter := document.D{"value": document.D{"$gte": 97.0}}
+	scatterOpts := &datastore.FindOpts{Sort: []string{"-value"}, Limit: 20}
+	// Targeted workloads: {group: k} pins the shard key, so the router
+	// touches one shard holding ~1/N of the corpus.
+	targetedFilter := func(seq int) document.D {
+		return document.D{"group": int64(seq % benchGroups)}
+	}
+	// Top-K within the group, so the scan (which shrinks with the fleet)
+	// dominates the op rather than result serialization (which doesn't).
+	targetedOpts := &datastore.FindOpts{Sort: []string{"-value"}, Limit: 25}
+	targetedPipeline := func(seq int) []document.D {
+		return []document.D{
+			{"$match": document.D{"group": int64(seq % benchGroups)}},
+			{"$group": document.D{"_id": nil, "n": document.D{"$sum": 1}, "avg": document.D{"$avg": "$value"}}},
+		}
+	}
+
+	var results []clusterBenchResult
+	record := func(r clusterBenchResult, err error) error {
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		fmt.Printf("  %-28s %6d iters  %8.3f ms/op  %10.1f ops/s\n", r.Name, r.Iters, r.MsPerOp, r.OpsPerSec)
+		return nil
+	}
+	benchEngine := func(label string, shards int, eng *queryengine.Engine) error {
+		if err := record(timedConcurrent(label+".Find.targeted", shards, iters, workers, func(seq int) error {
+			_, err := eng.Find("bench", "bench", targetedFilter(seq), targetedOpts)
+			return err
+		})); err != nil {
+			return err
+		}
+		if err := record(timedConcurrent(label+".Aggregate.targeted", shards, iters, workers, func(seq int) error {
+			_, err := eng.Aggregate("bench", "bench", targetedPipeline(seq))
+			return err
+		})); err != nil {
+			return err
+		}
+		return record(timedConcurrent(label+".Find.scatter", shards, iters/2, workers, func(int) error {
+			_, err := eng.Find("bench", "bench", scatterFilter, scatterOpts)
+			return err
+		}))
+	}
+
+	// Baseline: the same engine surface over a local store.
+	fmt.Printf("corpus: %d docs, %d workers, shard key \"group\"\n", nDocs, workers)
+	local := datastore.MustOpenMemory()
+	for _, d := range docs {
+		if _, err := local.C("bench").Insert(d); err != nil {
+			return err
+		}
+	}
+	if err := benchEngine("standalone", 0, queryengine.New(local)); err != nil {
+		return err
+	}
+
+	// Routed: 1, 2, and 4 single-member shard groups on live HTTP.
+	for _, shards := range []int{1, 2, 4} {
+		reg := obs.NewRegistry()
+		var groups [][]string
+		var nodes [][]*cluster.Node
+		var servers []*httptest.Server
+		for gi := 0; gi < shards; gi++ {
+			n := cluster.NewNode(fmt.Sprintf("bench-node-%d", gi), datastore.MustOpenMemory(), reg)
+			srv := httptest.NewServer(n)
+			servers = append(servers, srv)
+			groups = append(groups, []string{srv.URL})
+			nodes = append(nodes, []*cluster.Node{n})
+		}
+		loadDirect(nodes, docs)
+		router, err := cluster.NewRouter(cluster.RouterOptions{Groups: groups, ShardKey: "group", Registry: reg})
+		if err != nil {
+			return err
+		}
+		err = benchEngine(fmt.Sprintf("routed%d", shards), shards, queryengine.NewWithBackend(router))
+		router.Close()
+		for _, srv := range servers {
+			srv.Close()
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	payload := struct {
+		Docs        int                  `json:"docs"`
+		Concurrency int                  `json:"concurrency"`
+		ShardKey    string               `json:"shard_key"`
+		Results     []clusterBenchResult `json:"results"`
+		Speedups    map[string]float64   `json:"speedup_vs_1shard"`
+	}{Docs: nDocs, Concurrency: workers, ShardKey: "group", Results: results, Speedups: map[string]float64{}}
+	byName := map[string]clusterBenchResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, op := range []string{"Find.targeted", "Aggregate.targeted", "Find.scatter"} {
+		base := byName["routed1."+op]
+		for _, shards := range []int{2, 4} {
+			if r, ok := byName[fmt.Sprintf("routed%d.%s", shards, op)]; ok && base.OpsPerSec > 0 {
+				payload.Speedups[fmt.Sprintf("%s_%dshard", op, shards)] = r.OpsPerSec / base.OpsPerSec
+			}
+		}
+	}
+	if err := writeJSON(out, payload); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", out, len(results))
+	for _, op := range []string{"Find.targeted", "Aggregate.targeted", "Find.scatter"} {
+		for _, shards := range []int{2, 4} {
+			k := fmt.Sprintf("%s_%dshard", op, shards)
+			if v, ok := payload.Speedups[k]; ok {
+				fmt.Printf("  speedup %-28s %.2fx\n", k, v)
+			}
+		}
+	}
+	return nil
+}

@@ -20,10 +20,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|all)")
 	scaleName := flag.String("scale", "full", "experiment scale (small|full)")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "bench mode: timed-loop results file")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "bench mode: metrics registry snapshot file")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "cluster mode: standalone-vs-routed results file")
 	flag.Parse()
 
 	sc := experiments.Full
@@ -117,6 +118,11 @@ func main() {
 		// BENCH_obs.json artifacts rather than rendering a paper figure.
 		"bench": func() error {
 			return runBench(sc, *benchOut, *obsOut)
+		},
+		// cluster is likewise artifact-writing: standalone vs routed
+		// 1/2/4-shard Find+Aggregate throughput into BENCH_cluster.json.
+		"cluster": func() error {
+			return runClusterBench(sc, *clusterOut)
 		},
 	}
 

@@ -8,6 +8,22 @@
 //
 //	curl -X POST 'http://localhost:8651/auth/signup?provider=google&email=you@example.com'
 //	curl -H "X-API-KEY: $KEY" http://localhost:8651/rest/v1/materials/Fe2O3/vasp/energy
+//
+// Beyond the default standalone role, mpserve can run as one tier of a
+// networked shard cluster (the paper's §IV-D2 scaling path):
+//
+//	mpserve -role node -addr :9001            # a shard node (internal API)
+//	mpserve -role node -addr :9002
+//	mpserve -role node -addr :9003
+//	mpserve -role node -addr :9004
+//	mpserve -role router -addr :8651 -shards 2 \
+//	    -peers http://localhost:9001,http://localhost:9002,http://localhost:9003,http://localhost:9004
+//
+// The router assigns peers to shard groups round-robin (with -shards 2
+// the four peers above become group 0 = {9001, 9003} and group 1 =
+// {9002, 9004}; the first member of each group starts as primary), builds
+// the corpus locally, loads it through the router so every document lands
+// on its shard with replicas, and serves the public Materials API on top.
 package main
 
 import (
@@ -15,22 +31,32 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"strings"
 	"time"
 
+	"matproj/internal/cluster"
+	"matproj/internal/datastore"
 	"matproj/internal/obs"
 	"matproj/internal/pipeline"
+	"matproj/internal/queryengine"
 	"matproj/internal/restapi"
 	"matproj/internal/webui"
 )
 
 func main() {
 	addr := flag.String("addr", ":8651", "listen address")
-	nMaterials := flag.Int("materials", 80, "synthetic ICSD records to compute on first build")
+	role := flag.String("role", "standalone", "process role: standalone, node, or router")
+	nMaterials := flag.Int("materials", 80, "synthetic ICSD records to compute on first build (standalone, router)")
 	dataDir := flag.String("data", "", "directory for a durable store (empty = in-memory)")
 	seed := flag.Int64("seed", 2012, "dataset seed")
 	metrics := flag.Bool("metrics", true, "record live metrics and serve GET /metrics and GET /status")
 	slowQueryMs := flag.Float64("slow-query-ms", 250, "slow-query log threshold in milliseconds (0 disables the log)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	nodeID := flag.String("id", "", "node identifier (node role; defaults to the listen address)")
+	peers := flag.String("peers", "", "comma-separated shard node base URLs (router role)")
+	shards := flag.Int("shards", 1, "shard group count; peers are assigned round-robin (router role)")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "router health-check period (0 disables the loop)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -42,10 +68,112 @@ func main() {
 		}
 	}
 
+	switch *role {
+	case "standalone":
+		runStandalone(*addr, *nMaterials, *dataDir, *seed, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+	case "node":
+		runNode(*addr, *nodeID, *dataDir, reg)
+	case "router":
+		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+	default:
+		fmt.Fprintf(os.Stderr, "mpserve: unknown role %q (want standalone, node, or router)\n", *role)
+		os.Exit(2)
+	}
+}
+
+// runNode serves a bare shard node: a datastore exposed over the internal
+// cluster wire protocol, with no pipeline build and no public API — dumb
+// storage the router fans out to.
+func runNode(addr, id, dataDir string, reg *obs.Registry) {
+	if id == "" {
+		id = "node" + addr
+	}
+	store, err := datastore.Open(dataDir)
+	if err != nil {
+		log.Fatalf("mpserve: node store: %v", err)
+	}
+	if reg != nil {
+		store.Observe(reg, nil)
+	}
+	node := cluster.NewNode(id, store, reg)
+	log.Printf("shard node %q serving the internal cluster API on %s", id, addr)
+	if err := http.ListenAndServe(addr, node); err != nil {
+		log.Fatalf("mpserve: %v", err)
+	}
+}
+
+// runRouter builds the corpus locally, loads it through the query router
+// onto the shard nodes, and serves the public Materials API backed by
+// scatter-gathered reads. Auth keys and status live in a router-local
+// store (the paper isolates "the various roles of the database to
+// separate servers").
+func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEvery time.Duration,
+	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
+	var urls []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, strings.TrimSuffix(p, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("mpserve: router role needs -peers")
+	}
+	if shards < 1 || shards > len(urls) {
+		log.Fatalf("mpserve: -shards %d invalid for %d peers", shards, len(urls))
+	}
+	groups := make([][]string, shards)
+	for i, u := range urls {
+		groups[i%shards] = append(groups[i%shards], u)
+	}
+	router, err := cluster.NewRouter(cluster.RouterOptions{
+		Groups:         groups,
+		Registry:       reg,
+		HealthInterval: healthEvery,
+	})
+	if err != nil {
+		log.Fatalf("mpserve: router: %v", err)
+	}
+	for gi, g := range groups {
+		log.Printf("shard group %d: primary %s, %d replica(s)", gi, g[0], len(g)-1)
+	}
+
+	// Build the corpus in-process (the workflow tier is local), then fan
+	// the collections out to the shard nodes through the router.
 	cfg := pipeline.DefaultConfig()
-	cfg.NMaterials = *nMaterials
-	cfg.PersistDir = *dataDir
-	cfg.Seed = *seed
+	cfg.NMaterials = nMaterials
+	cfg.Seed = seed
+	log.Printf("building deployment (%d materials)...", cfg.NMaterials)
+	d, err := pipeline.Build(cfg)
+	if err != nil {
+		log.Fatalf("mpserve: build: %v", err)
+	}
+	copied, err := pipeline.CopyCollections(router, d.Store)
+	if err != nil {
+		log.Fatalf("mpserve: load cluster: %v", err)
+	}
+	log.Printf("loaded %d documents onto %d shard group(s)", copied, shards)
+
+	// The dissemination layer runs unchanged in front of the cluster.
+	eng := queryengine.NewWithBackend(router, queryengine.WithRateLimit(10000, time.Minute))
+	if reg != nil || tracer != nil {
+		eng.Observe(reg, tracer)
+	}
+	eng.AddAlias("materials", "formula", "pretty_formula")
+	eng.AddAlias("materials", "energy", "final_energy")
+	eng.AddAlias("materials", "bandgap", "band_gap")
+
+	// Auth and status stay router-local.
+	local := datastore.MustOpenMemory()
+	serveAPI(addr, eng, local, reg, tracer, metrics, pprofFlag, slowQueryMs,
+		fmt.Sprintf("Materials API (routed, %d shards × %d peers)", shards, len(urls)))
+}
+
+func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
+	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
+	cfg := pipeline.DefaultConfig()
+	cfg.NMaterials = nMaterials
+	cfg.PersistDir = dataDir
+	cfg.Seed = seed
 	cfg.Obs = reg
 	cfg.Tracer = tracer
 	log.Printf("building deployment (%d materials)...", cfg.NMaterials)
@@ -57,35 +185,42 @@ func main() {
 	log.Printf("store ready: %d collections, %d documents, ~%d KB", st.Collections, st.Documents, st.Bytes/1024)
 	log.Printf("materials=%d tasks=%d bandstructures=%d xrd=%d batteries=%d",
 		d.Materials, d.Tasks, d.Bands, d.XRDPatterns, d.Batteries)
+	serveAPI(addr, d.Engine, d.Store, reg, tracer, metrics, pprofFlag, slowQueryMs,
+		"Materials API + web portal")
+}
 
-	auth := restapi.NewAuth(d.Store)
-	api := restapi.NewServer(d.Engine, auth, d.Store)
-	if *metrics {
+// serveAPI mounts the public API (plus portal, metrics, pprof) and
+// serves until the process dies.
+func serveAPI(addr string, eng *queryengine.Engine, store *datastore.Store,
+	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64, banner string) {
+	auth := restapi.NewAuth(store)
+	api := restapi.NewServer(eng, auth, store)
+	if metrics {
 		api.Observe(reg, tracer)
 	}
-	if *pprofFlag {
+	if pprofFlag {
 		api.EnablePprof()
 	}
-	portal := webui.NewServer(d.Engine, d.Store)
+	portal := webui.NewServer(eng, store)
 	mux := http.NewServeMux()
 	mux.Handle("/rest/", api)
 	mux.Handle("/auth/", api)
-	if *metrics {
+	if metrics {
 		mux.Handle("/metrics", api)
 		mux.Handle("/status", api)
 		if tracer != nil {
-			log.Printf("slow-query log armed at %.1f ms", *slowQueryMs)
+			log.Printf("slow-query log armed at %.1f ms", slowQueryMs)
 		}
 	}
-	if *pprofFlag {
+	if pprofFlag {
 		mux.Handle("/debug/pprof/", api)
 		log.Printf("pprof exposed at /debug/pprof/")
 	}
 	mux.Handle("/", portal)
-	log.Printf("Materials API + web portal listening on %s", *addr)
-	fmt.Printf("portal:  http://localhost%s/\n", *addr)
-	fmt.Printf("example: curl -X POST 'http://localhost%s/auth/signup?provider=google&email=you@example.com'\n", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	log.Printf("%s listening on %s", banner, addr)
+	fmt.Printf("portal:  http://localhost%s/\n", addr)
+	fmt.Printf("example: curl -X POST 'http://localhost%s/auth/signup?provider=google&email=you@example.com'\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Fatalf("mpserve: %v", err)
 	}
 }

@@ -1,0 +1,283 @@
+// Package cluster lifts the in-process shard.Cluster semantics onto a
+// networked topology, the deployment the paper reserves for future
+// scalability (§IV-D2): shard nodes expose datastore primitives over an
+// internal HTTP API, and a query router owns the shard map, scattering
+// reads across groups, replicating writes to group members, and promoting
+// replicas when a primary stops answering. The hash partitioning and
+// merge semantics are shared with internal/shard (see shard/partition.go),
+// so an in-process cluster and a networked one agree bit-for-bit on
+// placement and result order.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"matproj/internal/cluster/wire"
+	"matproj/internal/datastore"
+	"matproj/internal/obs"
+)
+
+// Job is a named MapReduce program. Go functions cannot cross the wire,
+// so distributed MapReduce runs jobs registered by name in every binary
+// of the cluster: nodes execute the map/reduce over their shard, the
+// router merges the partials and re-reduces (ReduceFunc must therefore be
+// associative, same contract as datastore.MapReduce).
+type Job struct {
+	Map    datastore.MapFunc
+	Reduce datastore.ReduceFunc
+}
+
+var (
+	jobsMu sync.RWMutex
+	jobs   = make(map[string]Job)
+)
+
+// RegisterJob installs a named MapReduce job in the process-wide
+// registry. Registering the same name twice overwrites (last wins), so
+// tests can re-register.
+func RegisterJob(name string, j Job) {
+	jobsMu.Lock()
+	jobs[name] = j
+	jobsMu.Unlock()
+}
+
+// LookupJob fetches a registered job by name.
+func LookupJob(name string) (Job, bool) {
+	jobsMu.RLock()
+	j, ok := jobs[name]
+	jobsMu.RUnlock()
+	return j, ok
+}
+
+// Node is one shard member: a datastore exposed over the internal wire
+// protocol. It is an http.Handler; mount it at the server root (paths
+// already carry the /internal/v1 prefix).
+type Node struct {
+	id    string
+	store *datastore.Store
+	reg   *obs.Registry
+	mux   *http.ServeMux
+}
+
+// NewNode wraps a store in the node transport. reg may be nil (metrics
+// become no-ops).
+func NewNode(id string, store *datastore.Store, reg *obs.Registry) *Node {
+	n := &Node{id: id, store: store, reg: reg, mux: http.NewServeMux()}
+	post := func(path string, h func(w http.ResponseWriter, r *http.Request) error) {
+		n.mux.HandleFunc("POST "+wire.Version+path, func(w http.ResponseWriter, r *http.Request) {
+			n.serve(path, w, r, h)
+		})
+	}
+	post(wire.PathInsert, n.handleInsert)
+	post(wire.PathFind, n.handleFind)
+	post(wire.PathCount, n.handleCount)
+	post(wire.PathGet, n.handleGet)
+	post(wire.PathUpdate, n.handleUpdate)
+	post(wire.PathRemove, n.handleRemove)
+	post(wire.PathAggregate, n.handleAggregate)
+	post(wire.PathDistinct, n.handleDistinct)
+	post(wire.PathMapReduce, n.handleMapReduce)
+	post(wire.PathEnsureIndex, n.handleEnsureIndex)
+	n.mux.HandleFunc("GET "+wire.Version+wire.PathHealth, n.handleHealth)
+	return n
+}
+
+// ID reports the node's identifier (used in health responses).
+func (n *Node) ID() string { return n.id }
+
+// Store exposes the node's underlying datastore (tests and process
+// wiring).
+func (n *Node) Store() *datastore.Store { return n.store }
+
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n.mux.ServeHTTP(w, r)
+}
+
+// serve wraps one op handler with metrics and error mapping.
+func (n *Node) serve(op string, w http.ResponseWriter, r *http.Request, h func(http.ResponseWriter, *http.Request) error) {
+	start := time.Now()
+	err := h(w, r)
+	n.reg.Counter("node_ops_total").Inc()
+	n.reg.LatencyHistogram("node_op" + op + "_ms").ObserveDuration(time.Since(start))
+	if err != nil {
+		n.reg.Counter("node_op_errors_total").Inc()
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, datastore.ErrNotFound):
+			status = http.StatusNotFound
+		case isBadRequest(err):
+			status = http.StatusBadRequest
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error()})
+	}
+}
+
+// badRequestError marks caller mistakes (malformed bodies, unknown jobs)
+// so serve maps them to 400 rather than 500.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return badRequestError{fmt.Errorf(format, args...)}
+}
+
+func isBadRequest(err error) bool {
+	var br badRequestError
+	return errors.As(err, &br)
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+func (n *Node) handleInsert(w http.ResponseWriter, r *http.Request) error {
+	var req wire.InsertRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	id, err := n.store.C(req.Collection).Insert(wire.NormalizeMap(req.Doc))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.InsertResponse{ID: id})
+}
+
+func (n *Node) handleFind(w http.ResponseWriter, r *http.Request) error {
+	var req wire.FindRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	docs, err := n.store.C(req.Collection).FindAll(wire.NormalizeMap(req.Filter), req.Opts.ToFindOpts())
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.DocsResponse{Docs: wire.FromDocs(docs)})
+}
+
+func (n *Node) handleCount(w http.ResponseWriter, r *http.Request) error {
+	var req wire.CountRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	c, err := n.store.C(req.Collection).Count(wire.NormalizeMap(req.Filter))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.CountResponse{N: c})
+}
+
+func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) error {
+	var req wire.GetRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	d, err := n.store.C(req.Collection).FindID(req.ID)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.DocResponse{Doc: map[string]any(d)})
+}
+
+func (n *Node) handleUpdate(w http.ResponseWriter, r *http.Request) error {
+	var req wire.UpdateRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	c := n.store.C(req.Collection)
+	var res datastore.UpdateResult
+	var err error
+	if req.Many {
+		res, err = c.UpdateMany(wire.NormalizeMap(req.Filter), wire.NormalizeMap(req.Update))
+	} else {
+		res, err = c.UpdateOne(wire.NormalizeMap(req.Filter), wire.NormalizeMap(req.Update))
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.UpdateResponse{Matched: res.Matched, Modified: res.Modified})
+}
+
+func (n *Node) handleRemove(w http.ResponseWriter, r *http.Request) error {
+	var req wire.RemoveRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	c, err := n.store.C(req.Collection).Remove(wire.NormalizeMap(req.Filter))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.CountResponse{N: c})
+}
+
+func (n *Node) handleAggregate(w http.ResponseWriter, r *http.Request) error {
+	var req wire.AggregateRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	docs, err := n.store.C(req.Collection).Aggregate(wire.NormalizePipeline(req.Pipeline))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.DocsResponse{Docs: wire.FromDocs(docs)})
+}
+
+func (n *Node) handleDistinct(w http.ResponseWriter, r *http.Request) error {
+	var req wire.DistinctRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	vals, err := n.store.C(req.Collection).Distinct(req.Path, wire.NormalizeMap(req.Filter))
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.DistinctResponse{Values: vals})
+}
+
+func (n *Node) handleMapReduce(w http.ResponseWriter, r *http.Request) error {
+	var req wire.MapReduceRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	job, ok := LookupJob(req.Job)
+	if !ok {
+		return badRequest("cluster: unknown mapreduce job %q", req.Job)
+	}
+	docs, err := n.store.C(req.Collection).MapReduce(wire.NormalizeMap(req.Filter), job.Map, job.Reduce)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, wire.DocsResponse{Docs: wire.FromDocs(docs)})
+}
+
+func (n *Node) handleEnsureIndex(w http.ResponseWriter, r *http.Request) error {
+	var req wire.EnsureIndexRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	n.store.C(req.Collection).EnsureIndex(req.Path)
+	return writeJSON(w, wire.OKResponse{OK: true})
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	docs := 0
+	for _, name := range n.store.Collections() {
+		c, _ := n.store.C(name).Count(nil)
+		docs += c
+	}
+	writeJSON(w, wire.HealthResponse{
+		OK:          true,
+		NodeID:      n.id,
+		Collections: len(n.store.Collections()),
+		Documents:   docs,
+	})
+}

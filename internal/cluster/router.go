@@ -1,0 +1,855 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"matproj/internal/cluster/wire"
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/obs"
+	"matproj/internal/queryengine"
+	"matproj/internal/shard"
+)
+
+// TransportFaults injects failures into the router's node calls. The
+// interface is consumer-defined (same convention as datastore's
+// JournalFaults) so *faults.Injector satisfies it structurally without
+// this package importing faults.
+type TransportFaults interface {
+	// DropCall reports whether the next call should fail before reaching
+	// the node (connection refused / lost packet).
+	DropCall() bool
+	// CallError reports whether the next call should come back as a
+	// remote server error.
+	CallError() bool
+	// CallDelay returns how long to stall the next call (0 for none).
+	CallDelay() time.Duration
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Groups lists member base URLs per shard group; the first member of
+	// each group starts as primary, the rest are replicas.
+	Groups [][]string
+	// ShardKey is the dotted field hashed for placement; empty means
+	// "_id".
+	ShardKey string
+	// Registry receives router metrics (nil = no-op).
+	Registry *obs.Registry
+	// Client is the HTTP client for node calls (nil = a client with a
+	// 5-second timeout).
+	Client *http.Client
+	// HealthInterval starts a background health-check loop when > 0.
+	// Stop it with Close. Tests usually leave it 0 and drive CheckNow.
+	HealthInterval time.Duration
+}
+
+// member is one node endpoint as the router sees it.
+type member struct {
+	url     string
+	healthy bool
+}
+
+// rgroup is one shard group: an ordered member list whose head is the
+// current primary. Promotion rotates a healthy member to the head.
+type rgroup struct {
+	mu      sync.RWMutex
+	members []*member
+}
+
+// Router owns the shard map and fronts the node fleet. It satisfies
+// queryengine.Backend, so the full dissemination layer (aliases,
+// sanitization, rate limits, REST API) runs unchanged on top of a
+// networked cluster.
+type Router struct {
+	shardKey string
+	groups   []*rgroup
+	client   *http.Client
+	reg      *obs.Registry
+
+	faultsMu sync.RWMutex
+	faults   TransportFaults
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewRouter builds a router over the given shard groups.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Groups) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard group")
+	}
+	r := &Router{
+		shardKey: opts.ShardKey,
+		client:   opts.Client,
+		reg:      opts.Registry,
+		stopCh:   make(chan struct{}),
+	}
+	if r.shardKey == "" {
+		r.shardKey = "_id"
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: 5 * time.Second}
+	}
+	for gi, urls := range opts.Groups {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("cluster: shard group %d has no members", gi)
+		}
+		g := &rgroup{}
+		for _, u := range urls {
+			g.members = append(g.members, &member{url: u, healthy: true})
+		}
+		r.groups = append(r.groups, g)
+	}
+	if opts.HealthInterval > 0 {
+		go r.healthLoop(opts.HealthInterval)
+	}
+	return r, nil
+}
+
+// Close stops the background health loop (if any).
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+}
+
+// Shards reports the shard group count.
+func (r *Router) Shards() int { return len(r.groups) }
+
+// InjectFaults installs a transport fault injector (nil clears it).
+func (r *Router) InjectFaults(f TransportFaults) {
+	r.faultsMu.Lock()
+	r.faults = f
+	r.faultsMu.Unlock()
+}
+
+func (r *Router) transportFaults() TransportFaults {
+	r.faultsMu.RLock()
+	defer r.faultsMu.RUnlock()
+	return r.faults
+}
+
+// call POSTs one wire request to a member and decodes the response into
+// out. Transport failures and injected faults return an error; the
+// caller decides whether to mark the member unhealthy.
+func (r *Router) call(m *member, path string, req, out any) error {
+	if f := r.transportFaults(); f != nil {
+		if d := f.CallDelay(); d > 0 {
+			time.Sleep(d)
+		}
+		if f.DropCall() {
+			r.reg.Counter("cluster_calls_dropped_total").Inc()
+			return fmt.Errorf("cluster: injected drop calling %s%s", m.url, path)
+		}
+		if f.CallError() {
+			r.reg.Counter("cluster_calls_errored_total").Inc()
+			return fmt.Errorf("cluster: injected remote error from %s%s", m.url, path)
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", path, err)
+	}
+	resp, err := r.client.Post(m.url+wire.Version+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: call %s%s: %w", m.url, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: read %s%s: %w", m.url, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e wire.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			if resp.StatusCode == http.StatusNotFound {
+				return datastore.ErrNotFound
+			}
+			// The node answered: a remote op error, not a dead member.
+			return remoteError{status: resp.StatusCode, msg: e.Error}
+		}
+		return fmt.Errorf("cluster: %s%s: status %d", m.url, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := wire.DecodeJSONBytes(raw, out); err != nil {
+		return fmt.Errorf("cluster: decode %s%s: %w", m.url, path, err)
+	}
+	return nil
+}
+
+// remoteError is an application-level error relayed from a node. The
+// member is alive (it answered), so remote errors never trigger
+// failover.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e remoteError) Error() string { return e.msg }
+
+// isMemberFailure reports whether an error means the member itself is
+// unreachable or broken (vs. a well-formed remote op error).
+func isMemberFailure(err error) bool {
+	if err == nil || err == datastore.ErrNotFound {
+		return false
+	}
+	var re remoteError
+	return !asRemote(err, &re)
+}
+
+func asRemote(err error, target *remoteError) bool {
+	for err != nil {
+		if re, ok := err.(remoteError); ok {
+			*target = re
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// healthyMembers snapshots a group's healthy members, primary first.
+func (g *rgroup) healthyMembers() []*member {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*member, 0, len(g.members))
+	for _, m := range g.members {
+		if m.healthy {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// markUnhealthy flags a member down and, when it was the primary,
+// promotes the first healthy replica. Returns whether a promotion
+// happened.
+func (r *Router) markUnhealthy(gi int, m *member) bool {
+	g := r.groups[gi]
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m.healthy {
+		m.healthy = false
+		r.reg.Counter("cluster_member_down_total").Inc()
+	}
+	return r.promoteLocked(g)
+}
+
+// promoteLocked rotates the first healthy member to the head of the
+// group when the current head is down. Caller holds g.mu.
+func (r *Router) promoteLocked(g *rgroup) bool {
+	if len(g.members) == 0 || g.members[0].healthy {
+		return false
+	}
+	for i, m := range g.members {
+		if m.healthy {
+			// Keep relative order of the rest: the old primary drops to
+			// the tail so a recovered node rejoins as a replica.
+			promoted := g.members[i]
+			rest := append([]*member{}, g.members[:i]...)
+			rest = append(rest, g.members[i+1:]...)
+			g.members = append([]*member{promoted}, rest...)
+			r.reg.Counter("cluster_failover_total").Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// readOnGroup runs one read call against a group, failing over through
+// its healthy members: the primary first, then replicas. Member
+// failures mark the member down (promoting a replica); remote op errors
+// return immediately.
+func (r *Router) readOnGroup(gi int, path string, req, out any) error {
+	g := r.groups[gi]
+	g.mu.RLock()
+	attempts := len(g.members) + 1
+	g.mu.RUnlock()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		members := r.groups[gi].healthyMembers()
+		if len(members) == 0 {
+			break
+		}
+		m := members[0]
+		start := time.Now()
+		err := r.call(m, path, req, out)
+		r.reg.LatencyHistogram(fmt.Sprintf("cluster_shard%d_ms", gi)).ObserveDuration(time.Since(start))
+		if err == nil {
+			return nil
+		}
+		if !isMemberFailure(err) {
+			return err
+		}
+		lastErr = err
+		r.markUnhealthy(gi, m)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: shard %d has no healthy members", gi)
+	}
+	return fmt.Errorf("%w: shard %d: %v", queryengine.ErrUnavailable, gi, lastErr)
+}
+
+// scatter fans a read out to the target groups concurrently and collects
+// per-group results. fn runs once per group index.
+func (r *Router) scatter(targets []int, fn func(gi int) error) error {
+	r.reg.Counter("cluster_scatter_total").Inc()
+	r.reg.Counter("cluster_scatter_fanout_total").Add(uint64(len(targets)))
+	if len(targets) == 1 {
+		return fn(targets[0])
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, gi := range targets {
+		wg.Add(1)
+		go func(slot, gi int) {
+			defer wg.Done()
+			errs[slot] = fn(gi)
+		}(i, gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// targets computes the shard groups a filter must touch.
+func (r *Router) targets(filter document.D) ([]int, error) {
+	return shard.Targets(filter, r.shardKey, len(r.groups))
+}
+
+// ---- Write path -----------------------------------------------------
+
+// Insert routes a document to its shard group and replicates it to every
+// healthy member. The id is minted at the router (when sharding on _id)
+// so all members store an identical document. The write succeeds when at
+// least one member accepts it; members that fail are marked down.
+func (r *Router) Insert(collection string, doc document.D) (string, error) {
+	d := document.NormalizeDoc(doc).Copy()
+	var gi int
+	if r.shardKey == "_id" {
+		id, has := d["_id"].(string)
+		if !has {
+			id = shard.MintID()
+			d["_id"] = id
+		}
+		gi = shard.HashShard(id, len(r.groups))
+	} else {
+		keyVal, ok := d.Get(r.shardKey)
+		if !ok {
+			return "", fmt.Errorf("cluster: document missing shard key %q", r.shardKey)
+		}
+		gi = shard.HashShard(keyVal, len(r.groups))
+	}
+	id := ""
+	err := r.writeOnGroup(gi, func(m *member) error {
+		var resp wire.InsertResponse
+		if err := r.call(m, wire.PathInsert, wire.InsertRequest{Collection: collection, Doc: map[string]any(d)}, &resp); err != nil {
+			return err
+		}
+		if id == "" {
+			id = resp.ID
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if v, ok := d["_id"].(string); ok && id == "" {
+		id = v
+	}
+	return id, nil
+}
+
+// writeOnGroup replicates one write call across a group's healthy
+// members sequentially (synchronous replication). It succeeds when at
+// least one member accepted the write; members that fail are marked
+// down, promoting as needed. Remote op errors (e.g. a duplicate id)
+// abort the write.
+func (r *Router) writeOnGroup(gi int, do func(m *member) error) error {
+	members := r.groups[gi].healthyMembers()
+	if len(members) == 0 {
+		return fmt.Errorf("%w: shard %d has no healthy members", queryengine.ErrUnavailable, gi)
+	}
+	accepted := 0
+	var lastErr error
+	for _, m := range members {
+		start := time.Now()
+		err := do(m)
+		r.reg.LatencyHistogram(fmt.Sprintf("cluster_shard%d_ms", gi)).ObserveDuration(time.Since(start))
+		if err == nil {
+			accepted++
+			continue
+		}
+		if !isMemberFailure(err) {
+			return err
+		}
+		lastErr = err
+		r.markUnhealthy(gi, m)
+	}
+	if accepted == 0 {
+		return fmt.Errorf("%w: shard %d write failed on all members: %v", queryengine.ErrUnavailable, gi, lastErr)
+	}
+	return nil
+}
+
+// EnsureIndex creates the index on every member of every group (best
+// effort on unhealthy members).
+func (r *Router) EnsureIndex(collection, path string) {
+	for gi := range r.groups {
+		r.writeOnGroup(gi, func(m *member) error {
+			var resp wire.OKResponse
+			return r.call(m, wire.PathEnsureIndex, wire.EnsureIndexRequest{Collection: collection, Path: path}, &resp)
+		})
+	}
+}
+
+// Remove deletes matching documents on every targeted group's members.
+func (r *Router) Remove(collection string, filter document.D) (int, error) {
+	targets, err := r.targets(filter)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var mu sync.Mutex
+	err = r.scatter(targets, func(gi int) error {
+		first := true
+		return r.writeOnGroup(gi, func(m *member) error {
+			var resp wire.CountResponse
+			if err := r.call(m, wire.PathRemove, wire.RemoveRequest{Collection: collection, Filter: wireMap(filter)}, &resp); err != nil {
+				return err
+			}
+			mu.Lock()
+			if first {
+				total += resp.N
+				first = false
+			}
+			mu.Unlock()
+			return nil
+		})
+	})
+	return total, err
+}
+
+// updateMany replicates an UpdateMany across the targeted groups.
+func (r *Router) updateMany(collection string, filter, update document.D) (datastore.UpdateResult, error) {
+	targets, err := r.targets(filter)
+	if err != nil {
+		return datastore.UpdateResult{}, err
+	}
+	var res datastore.UpdateResult
+	var mu sync.Mutex
+	err = r.scatter(targets, func(gi int) error {
+		first := true
+		return r.writeOnGroup(gi, func(m *member) error {
+			var resp wire.UpdateResponse
+			req := wire.UpdateRequest{Collection: collection, Filter: wireMap(filter), Update: wireMap(update), Many: true}
+			if err := r.call(m, wire.PathUpdate, req, &resp); err != nil {
+				return err
+			}
+			mu.Lock()
+			if first {
+				res.Matched += resp.Matched
+				res.Modified += resp.Modified
+				first = false
+			}
+			mu.Unlock()
+			return nil
+		})
+	})
+	return res, err
+}
+
+// updateOne updates exactly one matching document cluster-wide: it reads
+// one match to learn its _id, then replicates an UpdateMany pinned to
+// that _id so every replica modifies the same document.
+func (r *Router) updateOne(collection string, filter, update document.D) (datastore.UpdateResult, error) {
+	docs, err := r.findAll(collection, filter, &datastore.FindOpts{Limit: 1})
+	if err != nil {
+		return datastore.UpdateResult{}, err
+	}
+	if len(docs) == 0 {
+		return datastore.UpdateResult{}, nil
+	}
+	id, _ := docs[0]["_id"].(string)
+	if id == "" {
+		return datastore.UpdateResult{}, fmt.Errorf("cluster: matched document has no _id")
+	}
+	return r.updateMany(collection, document.D{"_id": id}, update)
+}
+
+// ---- Read path ------------------------------------------------------
+
+// findAll scatter-gathers a filtered read and applies the global
+// merge-sort/skip/limit, matching internal/shard semantics exactly.
+func (r *Router) findAll(collection string, filter document.D, opts *datastore.FindOpts) ([]document.D, error) {
+	targets, err := r.targets(filter)
+	if err != nil {
+		return nil, err
+	}
+	perShard, sortSpec, skip, limit := shard.SplitFindOpts(opts)
+	// Single-target pass-through: one shard holds every possible match,
+	// so it can apply sort/skip/limit itself and the router returns its
+	// answer verbatim — no re-merge, no over-fetch.
+	if len(targets) == 1 {
+		perShard = opts
+	}
+	results := make([][]document.D, len(targets))
+	err = r.scatter(targets, func(gi int) error {
+		var resp wire.DocsResponse
+		req := wire.FindRequest{Collection: collection, Filter: wireMap(filter), Opts: wire.FromFindOpts(perShard)}
+		if err := r.readOnGroup(gi, wire.PathFind, req, &resp); err != nil {
+			return err
+		}
+		for slot, t := range targets {
+			if t == gi {
+				results[slot] = resp.NormalizedDocs()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 1 {
+		return results[0], nil
+	}
+	var all []document.D
+	for _, docs := range results {
+		all = append(all, docs...)
+	}
+	return shard.MergeDocs(all, sortSpec, skip, limit)
+}
+
+// Get fetches one document by id, routing directly when sharding on _id.
+func (r *Router) Get(collection, id string) (document.D, error) {
+	if r.shardKey == "_id" {
+		var resp wire.DocResponse
+		err := r.readOnGroup(shard.HashShard(id, len(r.groups)), wire.PathGet, wire.GetRequest{Collection: collection, ID: id}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NormalizeMap(resp.Doc), nil
+	}
+	docs, err := r.findAll(collection, document.D{"_id": id}, &datastore.FindOpts{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, datastore.ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// count scatter-gathers a count.
+func (r *Router) count(collection string, filter document.D) (int, error) {
+	targets, err := r.targets(filter)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var mu sync.Mutex
+	err = r.scatter(targets, func(gi int) error {
+		var resp wire.CountResponse
+		if err := r.readOnGroup(gi, wire.PathCount, wire.CountRequest{Collection: collection, Filter: wireMap(filter)}, &resp); err != nil {
+			return err
+		}
+		mu.Lock()
+		total += resp.N
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// distinct scatter-gathers per-shard distinct lists and unions them.
+func (r *Router) distinct(collection, path string, filter document.D) ([]any, error) {
+	targets, err := r.targets(filter)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]any, len(targets))
+	err = r.scatter(targets, func(gi int) error {
+		var resp wire.DistinctResponse
+		if err := r.readOnGroup(gi, wire.PathDistinct, wire.DistinctRequest{Collection: collection, Path: path, Filter: wireMap(filter)}, &resp); err != nil {
+			return err
+		}
+		vals := make([]any, len(resp.Values))
+		for i, v := range resp.Values {
+			vals[i] = document.Normalize(v)
+		}
+		for slot, t := range targets {
+			if t == gi {
+				lists[slot] = vals
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return shard.MergeDistinct(lists), nil
+}
+
+// aggregate runs a pipeline over the cluster. When a leading $match pins
+// the shard key to one group, the whole pipeline is pushed down to that
+// node. Otherwise the leading $match (if any) is pushed down as a find
+// filter, the matching documents are gathered, and the remaining stages
+// run at the router via the datastore's own pipeline executor — so
+// cross-shard $group/$sort results are identical to a standalone store.
+func (r *Router) aggregate(collection string, pipeline []document.D) ([]document.D, error) {
+	var matchFilter document.D
+	rest := pipeline
+	if len(pipeline) > 0 {
+		if m, ok := pipeline[0]["$match"]; ok {
+			if md, ok := toDoc(m); ok {
+				matchFilter = md
+				rest = pipeline[1:]
+			}
+		}
+	}
+	targets, err := r.targets(matchFilter)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 1 {
+		// Single-shard: full pushdown.
+		var resp wire.DocsResponse
+		wp := make([]map[string]any, len(pipeline))
+		for i, st := range pipeline {
+			wp[i] = map[string]any(st)
+		}
+		req := wire.AggregateRequest{Collection: collection, Pipeline: wp}
+		if err := r.readOnGroup(targets[0], wire.PathAggregate, req, &resp); err != nil {
+			return nil, err
+		}
+		return resp.NormalizedDocs(), nil
+	}
+	docs, err := r.findAll(collection, matchFilter, nil)
+	if err != nil {
+		return nil, err
+	}
+	return datastore.RunPipeline(docs, rest)
+}
+
+// MapReduce runs a registered job across every shard and re-reduces the
+// partial results at the router (jobs must have associative reducers,
+// the same contract as datastore.MapReduce).
+func (r *Router) MapReduce(collection, jobName string, filter document.D) ([]document.D, error) {
+	job, ok := LookupJob(jobName)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown mapreduce job %q", jobName)
+	}
+	targets, err := r.targets(filter)
+	if err != nil {
+		return nil, err
+	}
+	partials := make([][]document.D, len(targets))
+	err = r.scatter(targets, func(gi int) error {
+		var resp wire.DocsResponse
+		req := wire.MapReduceRequest{Collection: collection, Job: jobName, Filter: wireMap(filter)}
+		if err := r.readOnGroup(gi, wire.PathMapReduce, req, &resp); err != nil {
+			return err
+		}
+		for slot, t := range targets {
+			if t == gi {
+				partials[slot] = resp.NormalizedDocs()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Re-reduce: group partial values by key.
+	groups := make(map[string][]any)
+	var keys []string
+	for _, docs := range partials {
+		for _, d := range docs {
+			k, _ := d["_id"].(string)
+			if _, seen := groups[k]; !seen {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], d["value"])
+		}
+	}
+	sort.Strings(keys)
+	out := make([]document.D, 0, len(keys))
+	for _, k := range keys {
+		vals := groups[k]
+		v := vals[0]
+		if len(vals) > 1 {
+			v = document.Normalize(job.Reduce(k, vals))
+		}
+		out = append(out, document.D{"_id": k, "value": v})
+	}
+	return out, nil
+}
+
+// wireMap converts a document to its wire form (nil stays nil).
+func wireMap(d document.D) map[string]any {
+	if d == nil {
+		return nil
+	}
+	return map[string]any(d)
+}
+
+func toDoc(v any) (document.D, bool) {
+	switch x := v.(type) {
+	case document.D:
+		return x, true
+	case map[string]any:
+		return document.D(x), true
+	}
+	return nil, false
+}
+
+// ---- Health ---------------------------------------------------------
+
+// healthLoop probes members until Close.
+func (r *Router) healthLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-t.C:
+			r.CheckNow()
+		}
+	}
+}
+
+// CheckNow probes every member's health endpoint once, marking members
+// up or down and promoting replicas where a primary is down. It returns
+// the number of healthy members. Down members that answer again are
+// restored (rejoining as replicas — promotion already moved a healthy
+// member to the head).
+func (r *Router) CheckNow() int {
+	r.reg.Counter("cluster_health_checks_total").Inc()
+	healthy := 0
+	for _, g := range r.groups {
+		g.mu.RLock()
+		members := append([]*member{}, g.members...)
+		g.mu.RUnlock()
+		for _, m := range members {
+			ok := r.probe(m)
+			g.mu.Lock()
+			if ok {
+				if !m.healthy {
+					m.healthy = true
+					r.reg.Counter("cluster_member_recovered_total").Inc()
+				}
+				healthy++
+			} else if m.healthy {
+				m.healthy = false
+				r.reg.Counter("cluster_member_down_total").Inc()
+			}
+			r.promoteLocked(g)
+			g.mu.Unlock()
+		}
+	}
+	r.reg.Gauge("cluster_members_healthy").Set(int64(healthy))
+	return healthy
+}
+
+// probe checks one member's health endpoint.
+func (r *Router) probe(m *member) bool {
+	if f := r.transportFaults(); f != nil && f.DropCall() {
+		r.reg.Counter("cluster_calls_dropped_total").Inc()
+		return false
+	}
+	resp, err := r.client.Get(m.url + wire.Version + wire.PathHealth)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var h wire.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return false
+	}
+	return h.OK
+}
+
+// Healthy reports the per-group healthy member counts (tests and status
+// pages).
+func (r *Router) Healthy() []int {
+	out := make([]int, len(r.groups))
+	for gi, g := range r.groups {
+		out[gi] = len(g.healthyMembers())
+	}
+	return out
+}
+
+// Primary reports the current primary URL of a shard group.
+func (r *Router) Primary(gi int) string {
+	if gi < 0 || gi >= len(r.groups) {
+		return ""
+	}
+	g := r.groups[gi]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.members) == 0 {
+		return ""
+	}
+	return g.members[0].url
+}
+
+// ---- queryengine.Backend --------------------------------------------
+
+// C returns the routed view of one collection. Router satisfies
+// queryengine.Backend so an Engine (and the REST API above it) can front
+// the cluster directly.
+func (r *Router) C(name string) queryengine.Collection {
+	return routedCollection{r: r, name: name}
+}
+
+// routedCollection adapts the router's per-collection ops to the
+// queryengine.Collection contract.
+type routedCollection struct {
+	r    *Router
+	name string
+}
+
+func (c routedCollection) FindAll(filter document.D, opts *datastore.FindOpts) ([]document.D, error) {
+	return c.r.findAll(c.name, filter, opts)
+}
+
+func (c routedCollection) Count(filter document.D) (int, error) {
+	return c.r.count(c.name, filter)
+}
+
+func (c routedCollection) Distinct(path string, filter document.D) ([]any, error) {
+	return c.r.distinct(c.name, path, filter)
+}
+
+func (c routedCollection) UpdateOne(filter, update document.D) (datastore.UpdateResult, error) {
+	return c.r.updateOne(c.name, filter, update)
+}
+
+func (c routedCollection) UpdateMany(filter, update document.D) (datastore.UpdateResult, error) {
+	return c.r.updateMany(c.name, filter, update)
+}
+
+func (c routedCollection) Insert(doc document.D) (string, error) {
+	return c.r.Insert(c.name, doc)
+}
+
+func (c routedCollection) Aggregate(pipeline []document.D) ([]document.D, error) {
+	return c.r.aggregate(c.name, pipeline)
+}

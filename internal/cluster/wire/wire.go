@@ -1,0 +1,238 @@
+// Package wire defines the JSON codecs of the cluster's internal node
+// transport: the request/response shapes a router exchanges with shard
+// nodes over HTTP. The protocol deliberately mirrors the datastore's
+// primitive surface (insert/find/count/update/remove/aggregate/distinct/
+// mapreduce) rather than the public Materials API, so the Fig. 4 URI
+// anatomy stays a router-only concern and nodes remain dumb storage.
+//
+// Number fidelity matters on this boundary: documents round-trip through
+// JSON, so decoding always goes through json.Number + document.Normalize
+// (integral values become int64, the rest float64) — the same
+// canonicalization the datastore applies on insert.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// Version prefixes every transport path; bump on incompatible changes.
+const Version = "/internal/v1"
+
+// Endpoint paths under Version. All ops are POST except Health (GET).
+const (
+	PathInsert      = "/insert"
+	PathFind        = "/find"
+	PathCount       = "/count"
+	PathGet         = "/get"
+	PathUpdate      = "/update"
+	PathRemove      = "/remove"
+	PathAggregate   = "/aggregate"
+	PathDistinct    = "/distinct"
+	PathMapReduce   = "/mapreduce"
+	PathEnsureIndex = "/ensureindex"
+	PathHealth      = "/health"
+)
+
+// FindOpts is the wire form of datastore.FindOpts.
+type FindOpts struct {
+	Projection map[string]any `json:"projection,omitempty"`
+	Sort       []string       `json:"sort,omitempty"`
+	Skip       int            `json:"skip,omitempty"`
+	Limit      int            `json:"limit,omitempty"`
+}
+
+// FromFindOpts converts store options to their wire form (nil passes
+// through).
+func FromFindOpts(o *datastore.FindOpts) *FindOpts {
+	if o == nil {
+		return nil
+	}
+	return &FindOpts{Projection: o.Projection, Sort: o.Sort, Skip: o.Skip, Limit: o.Limit}
+}
+
+// ToFindOpts converts wire options back to store options.
+func (o *FindOpts) ToFindOpts() *datastore.FindOpts {
+	if o == nil {
+		return nil
+	}
+	return &datastore.FindOpts{
+		Projection: document.NormalizeDoc(document.D(o.Projection)),
+		Sort:       o.Sort,
+		Skip:       o.Skip,
+		Limit:      o.Limit,
+	}
+}
+
+// InsertRequest writes one document to a node.
+type InsertRequest struct {
+	Collection string         `json:"collection"`
+	Doc        map[string]any `json:"doc"`
+}
+
+// InsertResponse reports the stored id.
+type InsertResponse struct {
+	ID string `json:"id"`
+}
+
+// FindRequest runs a filtered read on a node.
+type FindRequest struct {
+	Collection string         `json:"collection"`
+	Filter     map[string]any `json:"filter,omitempty"`
+	Opts       *FindOpts      `json:"opts,omitempty"`
+}
+
+// DocsResponse carries a result set.
+type DocsResponse struct {
+	Docs []map[string]any `json:"docs"`
+}
+
+// NormalizedDocs converts the raw rows to canonical documents.
+func (r *DocsResponse) NormalizedDocs() []document.D {
+	out := make([]document.D, len(r.Docs))
+	for i, d := range r.Docs {
+		out[i] = document.NormalizeDoc(document.D(d))
+	}
+	return out
+}
+
+// FromDocs converts documents to wire rows.
+func FromDocs(docs []document.D) []map[string]any {
+	out := make([]map[string]any, len(docs))
+	for i, d := range docs {
+		out[i] = map[string]any(d)
+	}
+	return out
+}
+
+// CountRequest counts matching documents.
+type CountRequest struct {
+	Collection string         `json:"collection"`
+	Filter     map[string]any `json:"filter,omitempty"`
+}
+
+// CountResponse reports a count (also used for Remove).
+type CountResponse struct {
+	N int `json:"n"`
+}
+
+// GetRequest fetches one document by id.
+type GetRequest struct {
+	Collection string `json:"collection"`
+	ID         string `json:"id"`
+}
+
+// DocResponse carries one document (empty Doc = not found, with HTTP 404).
+type DocResponse struct {
+	Doc map[string]any `json:"doc,omitempty"`
+}
+
+// UpdateRequest applies an update on a node.
+type UpdateRequest struct {
+	Collection string         `json:"collection"`
+	Filter     map[string]any `json:"filter,omitempty"`
+	Update     map[string]any `json:"update"`
+	Many       bool           `json:"many"`
+}
+
+// UpdateResponse reports what the update did.
+type UpdateResponse struct {
+	Matched  int `json:"matched"`
+	Modified int `json:"modified"`
+}
+
+// RemoveRequest deletes matching documents.
+type RemoveRequest struct {
+	Collection string         `json:"collection"`
+	Filter     map[string]any `json:"filter,omitempty"`
+}
+
+// AggregateRequest runs a (pre-sanitized) pipeline on a node.
+type AggregateRequest struct {
+	Collection string           `json:"collection"`
+	Pipeline   []map[string]any `json:"pipeline"`
+}
+
+// DistinctRequest lists distinct values of a path.
+type DistinctRequest struct {
+	Collection string         `json:"collection"`
+	Path       string         `json:"path"`
+	Filter     map[string]any `json:"filter,omitempty"`
+}
+
+// DistinctResponse carries the distinct values.
+type DistinctResponse struct {
+	Values []any `json:"values"`
+}
+
+// MapReduceRequest runs a registered named MapReduce job on a node's
+// shard of a collection. Jobs ship with the binary (Go functions cannot
+// cross the wire); the name selects one from the shared registry.
+type MapReduceRequest struct {
+	Collection string         `json:"collection"`
+	Job        string         `json:"job"`
+	Filter     map[string]any `json:"filter,omitempty"`
+}
+
+// EnsureIndexRequest creates a secondary index on a node.
+type EnsureIndexRequest struct {
+	Collection string `json:"collection"`
+	Path       string `json:"path"`
+}
+
+// OKResponse acknowledges a side-effect-only request.
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// HealthResponse is a node's GET /internal/v1/health report.
+type HealthResponse struct {
+	OK          bool   `json:"ok"`
+	NodeID      string `json:"node_id"`
+	Collections int    `json:"collections"`
+	Documents   int    `json:"documents"`
+}
+
+// ErrorResponse is the non-2xx body of every transport endpoint.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeJSON decodes JSON preserving number fidelity (json.Number), so a
+// subsequent document.Normalize restores int64/float64 exactly as the
+// datastore would on a local insert.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// DecodeJSONBytes is DecodeJSON over a byte slice.
+func DecodeJSONBytes(b []byte, v any) error {
+	return DecodeJSON(strings.NewReader(string(b)), v)
+}
+
+// NormalizeMap canonicalizes a decoded wire map into a document.
+func NormalizeMap(m map[string]any) document.D {
+	if m == nil {
+		return nil
+	}
+	return document.NormalizeDoc(document.D(m))
+}
+
+// NormalizePipeline canonicalizes a decoded wire pipeline.
+func NormalizePipeline(stages []map[string]any) []document.D {
+	out := make([]document.D, len(stages))
+	for i, st := range stages {
+		out[i] = document.NormalizeDoc(document.D(st))
+	}
+	return out
+}

@@ -2,7 +2,9 @@ package datastore
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 
 	"matproj/internal/document"
 	"matproj/internal/query"
@@ -29,7 +31,10 @@ type bucket struct {
 }
 
 // canonicalKey renders an indexable value to a map key. Numbers collapse
-// across int64/float64 so 3 and 3.0 share a bucket.
+// across int64/float64 exactly when they are numerically equal: 3 and 3.0
+// share a bucket, but integers beyond float64's exact range (|x| > 2^53)
+// keep their own buckets rather than collapsing through a lossy float64
+// conversion.
 func canonicalKey(v any) string {
 	switch x := v.(type) {
 	case nil:
@@ -37,8 +42,14 @@ func canonicalKey(v any) string {
 	case bool:
 		return fmt.Sprintf("b:%v", x)
 	case int64:
-		return fmt.Sprintf("n:%g", float64(x))
+		return "i:" + strconv.FormatInt(x, 10)
 	case float64:
+		// Integral floats exactly representable as int64 use the integer
+		// form so they collapse with their int64 equals; everything else
+		// (fractions, huge magnitudes, ±Inf, NaN) keys on the float form.
+		if x == math.Trunc(x) && x >= -9.223372036854775808e18 && x < 9.223372036854775808e18 {
+			return "i:" + strconv.FormatInt(int64(x), 10)
+		}
 		return fmt.Sprintf("n:%g", x)
 	case string:
 		return "s:" + x

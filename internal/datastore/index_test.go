@@ -198,3 +198,80 @@ func TestQuickRangeIndexedEqualsScan(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: int64 keys beyond float64's exact range (|x| > 2^53) used to
+// be rendered through float64+%g, so distinct huge integers collapsed into
+// one bucket and indexed equality lookups returned the wrong documents.
+func TestIndexHugeInt64KeysStayDistinct(t *testing.T) {
+	c := MustOpenMemory().C("big")
+	// Both values round to the same float64, so the old canonicalKey gave
+	// them identical bucket keys.
+	a := int64(1<<53) + 1 // 9007199254740993, rounds to 9007199254740992
+	b := int64(1 << 53)   // 9007199254740992 exactly
+	if float64(a) != float64(b) {
+		t.Fatalf("test premise broken: float64(%d) != float64(%d)", a, b)
+	}
+	c.Insert(document.D{"_id": "a", "v": a})
+	c.Insert(document.D{"_id": "b", "v": b})
+	c.EnsureIndex("v")
+
+	for _, tc := range []struct {
+		val  int64
+		want string
+	}{{a, "a"}, {b, "b"}} {
+		docs, err := c.FindAll(document.D{"v": tc.val}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(docs) != 1 || docs[0]["_id"] != tc.want {
+			t.Errorf("lookup %d: got %v, want only %q", tc.val, docs, tc.want)
+		}
+	}
+
+	// The indexed plan must agree with an unindexed scan.
+	s := MustOpenMemory().C("scan")
+	s.Insert(document.D{"_id": "a", "v": a})
+	s.Insert(document.D{"_id": "b", "v": b})
+	for _, v := range []int64{a, b} {
+		idx, _ := c.FindAll(document.D{"v": v}, nil)
+		scn, _ := s.FindAll(document.D{"v": v}, nil)
+		if len(idx) != len(scn) {
+			t.Errorf("indexed=%d scanned=%d for %d", len(idx), len(scn), v)
+		}
+	}
+}
+
+// The 3 == 3.0 collapse survives the fix wherever the float is exact, and
+// only there: fractional and astronomically large floats keep their own
+// buckets.
+func TestIndexNumericCollapseOnlyWhereExact(t *testing.T) {
+	c := MustOpenMemory().C("mix")
+	c.Insert(document.D{"_id": "int", "v": int64(3)})
+	c.EnsureIndex("v")
+
+	// float64 3.0 must find the int64 3 document through the index.
+	docs, err := c.FindAll(document.D{"v": float64(3)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0]["_id"] != "int" {
+		t.Errorf("3.0 lookup = %v, want the int64 3 doc", docs)
+	}
+
+	// A huge int64 and a nearby non-equal float do not collapse.
+	c.Insert(document.D{"_id": "huge", "v": int64(1<<53) + 1})
+	docs, _ = c.FindAll(document.D{"v": float64(1 << 53)}, nil)
+	for _, d := range docs {
+		if d["_id"] == "huge" {
+			t.Errorf("float64(2^53) matched int64(2^53+1) through the index")
+		}
+	}
+
+	// An integral float beyond 2^53 that IS exactly an int64 still
+	// collapses with that int64 (1<<60 is exactly representable).
+	c.Insert(document.D{"_id": "exact60", "v": int64(1 << 60)})
+	docs, _ = c.FindAll(document.D{"v": float64(1 << 60)}, nil)
+	if len(docs) != 1 || docs[0]["_id"] != "exact60" {
+		t.Errorf("float64(2^60) lookup = %v, want the int64 2^60 doc", docs)
+	}
+}

@@ -515,15 +515,7 @@ func Compare(a, b any) int {
 	case 0:
 		return 0
 	case 1:
-		fa, _ := AsFloat(a)
-		fb, _ := AsFloat(b)
-		switch {
-		case fa < fb:
-			return -1
-		case fa > fb:
-			return 1
-		}
-		return 0
+		return compareNumbers(a, b)
 	case 2:
 		return strings.Compare(a.(string), b.(string))
 	case 3:
@@ -543,6 +535,82 @@ func Compare(a, b any) int {
 		sa, sb := fmt.Sprint(a), fmt.Sprint(b)
 		return strings.Compare(sa, sb)
 	}
+}
+
+// compareNumbers orders two numeric values exactly. int64/int pairs
+// compare as integers, and mixed int64-vs-float64 comparisons avoid the
+// lossy float64(int64) conversion, so integers beyond 2^53 do not collapse
+// into their float neighbours. Pure float pairs keep float semantics
+// (NaN compares equal to everything, as before).
+func compareNumbers(a, b any) int {
+	ia, aInt := asExactInt64(a)
+	ib, bInt := asExactInt64(b)
+	switch {
+	case aInt && bInt:
+		switch {
+		case ia < ib:
+			return -1
+		case ia > ib:
+			return 1
+		}
+		return 0
+	case aInt:
+		fb, _ := AsFloat(b)
+		return -compareFloatInt(fb, ia)
+	case bInt:
+		fa, _ := AsFloat(a)
+		return compareFloatInt(fa, ib)
+	default:
+		fa, _ := AsFloat(a)
+		fb, _ := AsFloat(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	}
+}
+
+// asExactInt64 reports integer-typed values as int64 without loss.
+func asExactInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// compareFloatInt compares a float64 against an int64 exactly: -1 when
+// f < i, +1 when f > i, 0 when numerically equal (or f is NaN, matching
+// the float-pair behaviour).
+func compareFloatInt(f float64, i int64) int {
+	if math.IsNaN(f) {
+		return 0
+	}
+	// 2^63 and -2^63 are exactly representable as float64.
+	if f >= 9.223372036854775808e18 {
+		return 1
+	}
+	if f < -9.223372036854775808e18 {
+		return -1
+	}
+	tf := math.Trunc(f) // within int64 range, so the conversion is exact
+	ti := int64(tf)
+	switch {
+	case ti < i:
+		return -1
+	case ti > i:
+		return 1
+	case f > tf: // equal integer parts, positive fraction
+		return 1
+	case f < tf: // equal integer parts, negative fraction
+		return -1
+	}
+	return 0
 }
 
 func toMap(v any) map[string]any {

@@ -36,6 +36,13 @@ type Config struct {
 	// MaxDelay bounds injected delays (default 0 = no delay even when
 	// DelayRate fires).
 	MaxDelay time.Duration
+	// DropCallRate is the per-call probability that a cluster transport
+	// call is dropped before reaching the remote node (a refused
+	// connection / lost packet).
+	DropCallRate float64
+	// CallErrorRate is the per-call probability that a cluster transport
+	// call reaches the node but comes back as an injected server error.
+	CallErrorRate float64
 }
 
 // Stats counts the faults actually injected so far.
@@ -44,6 +51,8 @@ type Stats struct {
 	DroppedAppends int
 	Delays         int
 	TornTails      int
+	DroppedCalls   int
+	ErroredCalls   int
 }
 
 // Injector draws fault decisions from a single seeded stream.
@@ -97,6 +106,37 @@ func (in *Injector) AppendDelay() time.Duration {
 	}
 	in.stats.Delays++
 	return time.Duration(in.rng.Int63n(int64(in.cfg.MaxDelay))) + 1
+}
+
+// DropCall decides whether the next cluster transport call is dropped
+// before reaching its node (the networked analogue of DropAppend).
+func (in *Injector) DropCall() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.DropCallRate <= 0 || in.rng.Float64() >= in.cfg.DropCallRate {
+		return false
+	}
+	in.stats.DroppedCalls++
+	return true
+}
+
+// CallError decides whether the next transport call fails with an
+// injected remote server error (the call arrives, the node "breaks").
+func (in *Injector) CallError() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.CallErrorRate <= 0 || in.rng.Float64() >= in.cfg.CallErrorRate {
+		return false
+	}
+	in.stats.ErroredCalls++
+	return true
+}
+
+// CallDelay returns how long the next transport call should stall before
+// being sent (0 for none). It shares DelayRate/MaxDelay with AppendDelay:
+// both model the same slow-I/O fault class.
+func (in *Injector) CallDelay() time.Duration {
+	return in.AppendDelay()
 }
 
 // TearTail truncates between 1 and maxCut bytes off the end of path,

@@ -10,6 +10,7 @@ package mpclient
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -67,15 +68,39 @@ type envelope struct {
 	NResults int              `json:"num_results"`
 }
 
-// APIError reports a non-2xx response.
+// APIError reports a non-2xx response. Retryable distinguishes transient
+// server-side conditions — an unhealthy cluster answering 503 while a
+// replica is promoted, a router-side 502/504 — from caller errors: a
+// retryable error means the same request may succeed if simply resent.
 type APIError struct {
-	Status  int
-	Message string
+	Status    int
+	Message   string
+	Retryable bool
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Retryable {
+		return fmt.Sprintf("mpclient: HTTP %d (retryable): %s", e.Status, e.Message)
+	}
 	return fmt.Sprintf("mpclient: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsRetryable reports whether err is (or wraps) a transient APIError that
+// is worth resending.
+func IsRetryable(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Retryable
+}
+
+// retryableStatus classifies the transient HTTP statuses: the gateway
+// errors a router or an unhealthy cluster emits.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -103,12 +128,31 @@ func (c *Client) do(method, path string, body []byte) (*envelope, error) {
 		return nil, fmt.Errorf("mpclient: %w", err)
 	}
 	defer resp.Body.Close()
-	var env envelope
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return nil, fmt.Errorf("mpclient: decode: %w", err)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("mpclient: read: %w", err)
 	}
+	var env envelope
+	decodeErr := json.Unmarshal(raw, &env)
 	if resp.StatusCode != http.StatusOK {
-		return nil, &APIError{Status: resp.StatusCode, Message: env.Error}
+		// Non-2xx first: a 503 from an LB or unhealthy router may carry a
+		// non-JSON body, and the status — not the decode failure — is the
+		// signal the caller needs.
+		msg := env.Error
+		if decodeErr != nil || msg == "" {
+			msg = strings.TrimSpace(string(raw))
+			if msg == "" {
+				msg = http.StatusText(resp.StatusCode)
+			}
+		}
+		return nil, &APIError{
+			Status:    resp.StatusCode,
+			Message:   msg,
+			Retryable: retryableStatus(resp.StatusCode),
+		}
+	}
+	if decodeErr != nil {
+		return nil, fmt.Errorf("mpclient: decode: %w", decodeErr)
 	}
 	return &env, nil
 }

@@ -2,6 +2,7 @@ package mpclient
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
@@ -222,5 +223,57 @@ func TestClientAggregate(t *testing.T) {
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// A 503 from an unhealthy cluster must surface as a typed, retryable
+// APIError — distinct from caller errors like 400/401 — whether or not
+// the body is the JSON envelope.
+func TestUnavailableIsRetryableAPIError(t *testing.T) {
+	// JSON-envelope 503 (a router reporting no healthy shard members).
+	jsonSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"valid_response": false, "error": "shard 1 has no healthy members"}`))
+	}))
+	defer jsonSrv.Close()
+	c := New(jsonSrv.URL, "k")
+	_, err := c.Energy("Fe2O3")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || !apiErr.Retryable {
+		t.Errorf("apiErr = %+v, want retryable 503", apiErr)
+	}
+	if apiErr.Message != "shard 1 has no healthy members" {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+	if !IsRetryable(err) {
+		t.Error("IsRetryable(503) = false")
+	}
+
+	// Plain-text 503 (a load balancer in front of the router): the status
+	// must still win over the JSON decode failure.
+	textSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "upstream unavailable", http.StatusServiceUnavailable)
+	}))
+	defer textSrv.Close()
+	_, err = New(textSrv.URL, "k").Energy("Fe2O3")
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 || !apiErr.Retryable {
+		t.Errorf("text 503 err = %v", err)
+	}
+	if apiErr.Message != "upstream unavailable" {
+		t.Errorf("text message = %q", apiErr.Message)
+	}
+
+	// Caller errors stay non-retryable.
+	srv := server(t)
+	_, err = New(srv.URL, "bad-key").Energy("Fe2O3")
+	if !errors.As(err, &apiErr) || apiErr.Status != 401 || apiErr.Retryable {
+		t.Errorf("401 err = %v", err)
+	}
+	if IsRetryable(err) {
+		t.Error("IsRetryable(401) = true")
 	}
 }

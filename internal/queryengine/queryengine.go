@@ -24,9 +24,37 @@ import (
 	"matproj/internal/obs"
 )
 
-// Engine is a sanitizing, aliasing facade over a datastore.
+// Backend is the storage surface the engine fronts. A local
+// *datastore.Store is the standalone case; internal/cluster's Router
+// satisfies the same contract over networked shard nodes, so the whole
+// dissemination layer (aliases, sanitization, rate limits) is reusable
+// in front of either — the paper's "defense against lock-in" extended to
+// the deployment topology.
+type Backend interface {
+	C(name string) Collection
+}
+
+// Collection is the per-collection operation set the engine needs from a
+// backend. *datastore.Collection implements it directly.
+type Collection interface {
+	FindAll(filter document.D, opts *datastore.FindOpts) ([]document.D, error)
+	Count(filter document.D) (int, error)
+	Distinct(path string, filter document.D) ([]any, error)
+	UpdateOne(filter, update document.D) (datastore.UpdateResult, error)
+	UpdateMany(filter, update document.D) (datastore.UpdateResult, error)
+	Insert(doc document.D) (string, error)
+	Aggregate(pipeline []document.D) ([]document.D, error)
+}
+
+// storeBackend adapts *datastore.Store to Backend (Store.C returns the
+// concrete *datastore.Collection type).
+type storeBackend struct{ s *datastore.Store }
+
+func (b storeBackend) C(name string) Collection { return b.s.C(name) }
+
+// Engine is a sanitizing, aliasing facade over a storage backend.
 type Engine struct {
-	store *datastore.Store
+	store Backend
 
 	// Live observability (nil when not wired). Because every client read
 	// and write flows through the Engine, these histograms are the live
@@ -60,10 +88,16 @@ func WithDeniedOperator(op string) Option {
 	return func(e *Engine) { e.deniedOps[op] = true }
 }
 
-// New wraps a store.
+// New wraps a local store.
 func New(store *datastore.Store, opts ...Option) *Engine {
+	return NewWithBackend(storeBackend{store}, opts...)
+}
+
+// NewWithBackend wraps any storage backend — in particular a cluster
+// router, putting the full sanitizing layer in front of networked shards.
+func NewWithBackend(b Backend, opts ...Option) *Engine {
 	e := &Engine{
-		store:       store,
+		store:       b,
 		aliases:     make(map[string]map[string]string),
 		collAliases: make(map[string]string),
 		deniedOps:   map[string]bool{"$where": true}, // never allow code injection
@@ -310,6 +344,12 @@ func (e *Engine) translateUpdate(collection string, u document.D) (document.D, e
 
 // ErrRateLimited is returned when a user exceeds their query budget.
 var ErrRateLimited = fmt.Errorf("queryengine: rate limit exceeded")
+
+// ErrUnavailable marks backend errors meaning the storage tier cannot
+// currently serve the request (e.g. a shard with no healthy members).
+// Backends wrap it so the API layer can answer 503 — a retryable signal
+// — instead of blaming the caller with a 400.
+var ErrUnavailable = fmt.Errorf("queryengine: backend unavailable")
 
 // checkRate charges one query to user, if limiting is enabled.
 func (e *Engine) checkRate(user string) error {

@@ -355,6 +355,10 @@ func (s *Server) writeEngineErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
 	case errors.Is(err, datastore.ErrNotFound):
 		writeErr(w, http.StatusNotFound, "not found")
+	case errors.Is(err, queryengine.ErrUnavailable):
+		// Storage-tier outage (e.g. a shard with no healthy members): a
+		// retryable 503, not a caller error.
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		writeErr(w, http.StatusBadRequest, "%v", err)
 	}

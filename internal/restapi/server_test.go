@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -44,11 +45,20 @@ func newTestEngine(store *datastore.Store, opts ...queryengine.Option) *queryeng
 }
 
 // testServer builds a server over a small materials corpus and returns
-// it with a valid API key.
+// it with a valid API key. With RESTAPI_BACKEND=routed in the
+// environment (see TestMaterialsAPISuiteRouted) the corpus is served
+// through a networked 2-shard cluster — wire transport, query router,
+// replica per shard — instead of a local store; auth and status stay on
+// the local store either way, matching the mpserve router role.
 func testServer(t *testing.T, opts ...queryengine.Option) (*httptest.Server, string) {
 	t.Helper()
 	store := newTestStore(t)
-	eng := newTestEngine(store, opts...)
+	var eng *queryengine.Engine
+	if os.Getenv("RESTAPI_BACKEND") == "routed" {
+		eng = newRoutedEngine(t, store, opts...)
+	} else {
+		eng = newTestEngine(store, opts...)
+	}
 	auth := NewAuth(store)
 	srv := httptest.NewServer(NewServer(eng, auth, store))
 	t.Cleanup(srv.Close)

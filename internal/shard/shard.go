@@ -14,13 +14,10 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
 	"sync"
 
 	"matproj/internal/datastore"
 	"matproj/internal/document"
-	"matproj/internal/query"
 )
 
 // ReadPreference selects which member serves reads.
@@ -87,9 +84,7 @@ func (c *Cluster) Shards() int { return len(c.groups) }
 
 // shardFor hashes a shard-key value to a group index.
 func (c *Cluster) shardFor(v any) int {
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%v", v)
-	return int(h.Sum32() % uint32(len(c.groups)))
+	return hashShard(v, len(c.groups))
 }
 
 // Insert routes a document to its shard and writes it to the primary and
@@ -103,7 +98,7 @@ func (c *Cluster) Insert(collection string, doc document.D) (string, error) {
 		// document and the hash routes deterministically.
 		id, has := d["_id"].(string)
 		if !has {
-			id = mintID()
+			id = MintID()
 			d["_id"] = id
 		}
 		idx = c.shardFor(id)
@@ -130,16 +125,6 @@ func (c *Cluster) Insert(collection string, doc document.D) (string, error) {
 	return id, nil
 }
 
-var mintCounter uint64
-var mintMu sync.Mutex
-
-func mintID() string {
-	mintMu.Lock()
-	defer mintMu.Unlock()
-	mintCounter++
-	return fmt.Sprintf("sh%012x", mintCounter)
-}
-
 // readStore picks the member store of a group per the preference.
 func (c *Cluster) readStore(g *group, pref ReadPreference) *datastore.Store {
 	g.mu.RLock()
@@ -164,16 +149,7 @@ func (c *Cluster) FindAll(collection string, filter document.D, opts *datastore.
 	}
 	// Fetch full (un-skipped, un-limited) result sets per shard; apply
 	// global sort/skip/limit after the merge.
-	var shardOpts *datastore.FindOpts
-	var sortSpec []string
-	skip, limit := 0, 0
-	if opts != nil {
-		o := *opts
-		sortSpec = o.Sort
-		skip, limit = o.Skip, o.Limit
-		o.Skip, o.Limit = 0, 0
-		shardOpts = &o
-	}
+	shardOpts, sortSpec, skip, limit := SplitFindOpts(opts)
 	var out []document.D
 	for _, gi := range targets {
 		st := c.readStore(c.groups[gi], pref)
@@ -183,49 +159,12 @@ func (c *Cluster) FindAll(collection string, filter document.D, opts *datastore.
 		}
 		out = append(out, docs...)
 	}
-	if len(sortSpec) > 0 {
-		keys, err := query.ParseSort(sortSpec)
-		if err != nil {
-			return nil, err
-		}
-		query.SortDocs(out, keys)
-	} else {
-		// Deterministic cross-shard order in the absence of a sort.
-		sort.Slice(out, func(i, j int) bool {
-			a, _ := out[i]["_id"].(string)
-			b, _ := out[j]["_id"].(string)
-			return a < b
-		})
-	}
-	if skip > 0 {
-		if skip >= len(out) {
-			out = nil
-		} else {
-			out = out[skip:]
-		}
-	}
-	if limit > 0 && limit < len(out) {
-		out = out[:limit]
-	}
-	return out, nil
+	return MergeDocs(out, sortSpec, skip, limit)
 }
 
 // targetsFor returns the shard indexes a filter must touch.
 func (c *Cluster) targetsFor(filter document.D) ([]int, error) {
-	if len(filter) > 0 {
-		flt, err := query.Compile(filter)
-		if err != nil {
-			return nil, err
-		}
-		if v, ok := flt.EqualityFields()[c.opts.ShardKey]; ok {
-			return []int{c.shardFor(v)}, nil
-		}
-	}
-	all := make([]int, len(c.groups))
-	for i := range all {
-		all[i] = i
-	}
-	return all, nil
+	return Targets(filter, c.opts.ShardKey, len(c.groups))
 }
 
 // Count scatter-gathers a count.

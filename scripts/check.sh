@@ -14,4 +14,33 @@ echo "fuzz smoke (${FUZZTIME} per target)..."
 go test ./internal/query/ -run '^$' -fuzz '^FuzzFilterCompileMatch$' -fuzztime "$FUZZTIME"
 go test ./internal/query/ -run '^$' -fuzz '^FuzzUpdateApply$' -fuzztime "$FUZZTIME"
 go test ./internal/document/ -run '^$' -fuzz '^FuzzDocumentPath$' -fuzztime "$FUZZTIME"
+
+# Cluster e2e smoke: two real shard-node processes, a router process that
+# loads the corpus over the wire, and a routed query through the public
+# API — the networked analogue of the in-process tests.
+echo "cluster e2e smoke..."
+TMP=$(mktemp -d)
+go build -o "$TMP/mpserve" ./cmd/mpserve
+"$TMP/mpserve" -role node -addr 127.0.0.1:19801 >"$TMP/n1.log" 2>&1 &
+N1=$!
+"$TMP/mpserve" -role node -addr 127.0.0.1:19802 >"$TMP/n2.log" 2>&1 &
+N2=$!
+"$TMP/mpserve" -role router -addr 127.0.0.1:19800 -shards 2 -materials 20 \
+    -peers http://127.0.0.1:19801,http://127.0.0.1:19802 >"$TMP/r.log" 2>&1 &
+R=$!
+trap 'kill $N1 $N2 $R 2>/dev/null || true; rm -rf "$TMP"' EXIT
+for _ in $(seq 1 30); do
+    curl -fsS -o /dev/null http://127.0.0.1:19800/status 2>/dev/null && break
+    sleep 1
+done
+KEY=$(curl -fsS -X POST 'http://127.0.0.1:19800/auth/signup?provider=google&email=check@example.com' \
+    | jq -r '.response[0].api_key')
+curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
+    -d '{"criteria":{},"properties":["pretty_formula","final_energy"],"limit":5}' \
+    http://127.0.0.1:19800/rest/v1/query \
+    | jq -e '.valid_response == true and (.response | length > 0)' >/dev/null \
+    || { echo "check: routed query failed"; tail "$TMP/r.log"; exit 1; }
+curl -fsS http://127.0.0.1:19800/metrics | grep -q 'cluster_scatter_total' \
+    || { echo "check: router metrics missing cluster counters"; exit 1; }
+echo "cluster smoke: routed query + metrics OK"
 echo "check: all green"
