@@ -1,4 +1,4 @@
-.PHONY: check test vet build bench fuzz
+.PHONY: check test vet build bench fuzz lint
 
 build:
 	go build ./...
@@ -6,10 +6,19 @@ build:
 vet:
 	go vet ./...
 
+# lint runs go vet plus mplint, the repo-native analyzer suite
+# (internal/analysis/lint). mplint exits 0 when clean, 1 on findings,
+# 2 on a load/type error, so a failing target always means something
+# actionable.
+lint:
+	go vet ./...
+	go run ./cmd/mplint ./...
+
 test:
 	go test ./...
 
-# Full gate: vet + build + race-enabled tests + fuzz smoke.
+# Full gate: vet + mplint + build + race-enabled tests + stress pass +
+# fuzz smoke.
 check:
 	./scripts/check.sh
 

@@ -1,0 +1,12 @@
+// Golden fixture: a lint:ignore directive without a reason is itself a
+// finding, and does not suppress anything. The harness asserts both
+// diagnostics explicitly (the directive line cannot carry a want
+// comment of its own).
+package fixture
+
+import "time"
+
+func needsReason() {
+	//lint:ignore clockdiscipline
+	time.Sleep(time.Millisecond)
+}

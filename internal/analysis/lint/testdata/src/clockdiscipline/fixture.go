@@ -1,0 +1,42 @@
+// Golden fixture for the clockdiscipline analyzer. Loaded by the test
+// harness as if it lived inside internal/fireworks (in scope) and again
+// inside internal/obs (allowlisted, zero findings expected).
+package fixture
+
+import "time"
+
+// A bare reference is an injection default, not a clock read: allowed.
+var defaultNow = time.Now
+
+func decides() time.Time {
+	t := time.Now() // want `direct time\.Now call`
+	return t
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep call`
+}
+
+func ticks() {
+	tk := time.NewTicker(time.Second) // want `direct time\.NewTicker call`
+	tk.Stop()
+	<-time.After(time.Millisecond) // want `direct time\.After call`
+}
+
+// The latency-measurement idiom is allowed: the Now result is consumed
+// only by time.Since.
+func measures() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Converting the instant (UnixNano) is a decision, not a measurement.
+func converts() int64 {
+	start := time.Now() // want `direct time\.Now call`
+	return start.UnixNano()
+}
+
+func work() {}
+
+var _ = defaultNow

@@ -1,0 +1,40 @@
+// Golden fixture for the docaliasing analyzer, loaded as an internal/
+// package. The datastore hands out documents that alias store state;
+// mutating one without Copy() corrupts the store behind the journal's
+// back.
+package fixture
+
+import (
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func mutatesRanged(c *datastore.Collection) {
+	docs, _ := c.FindAll(nil, nil)
+	for _, d := range docs {
+		d["flag"] = true // want `d aliases a document returned by a datastore/queryengine read`
+	}
+}
+
+func mutatesSingle(c *datastore.Collection) {
+	d, _ := c.FindID("mp-1")
+	d.Set("flag", true) // want `d\.Set mutates a document returned by a read`
+	delete(d, "flag")   // want `delete on d, which aliases a document`
+}
+
+func mutatesNested(c *datastore.Collection) {
+	d, _ := c.FindID("mp-1")
+	d.GetDoc("spectrum")["peak"] = 1.0 // want `d aliases a document`
+}
+
+func copiesFirst(c *datastore.Collection) document.D {
+	d, _ := c.FindID("mp-1")
+	d = d.Copy()
+	d["flag"] = true // rebound through Copy: allowed
+	return d
+}
+
+func freshDoc() {
+	d := document.D{"a": 1}
+	d["b"] = 2 // not from a read: allowed
+}

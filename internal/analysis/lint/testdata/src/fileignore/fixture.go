@@ -1,0 +1,10 @@
+// Golden fixture: file-ignore silences an analyzer for the whole file.
+//
+//lint:file-ignore clockdiscipline this fixture verifies file-wide suppression
+package fixture
+
+import "time"
+
+func a() { time.Sleep(time.Millisecond) }
+
+func b() time.Time { return time.Now() }

@@ -1,0 +1,17 @@
+// Golden fixture for the seededrand analyzer, loaded as an internal/
+// package.
+package fixture
+
+import "math/rand"
+
+func global() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle`
+	return rand.Intn(6)                // want `global rand\.Intn`
+}
+
+// Instance draws from an explicitly seeded source are the sanctioned
+// pattern (faults.Injector does exactly this).
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,23 @@
+// Golden fixture for the suppression machinery, run under
+// clockdiscipline in scope.
+package fixture
+
+import "time"
+
+func suppressedAbove() {
+	//lint:ignore clockdiscipline exercising line-above suppression
+	time.Sleep(time.Millisecond)
+}
+
+func suppressedSameLine() {
+	time.Sleep(time.Millisecond) //lint:ignore clockdiscipline exercising same-line suppression
+}
+
+func wrongAnalyzer() {
+	//lint:ignore seededrand the named analyzer does not match, so this still fires
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep call`
+}
+
+func unsuppressed() {
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep call`
+}

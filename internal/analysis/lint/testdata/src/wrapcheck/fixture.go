@@ -1,0 +1,52 @@
+// Golden fixture for the wrapcheck analyzer, loaded as if it lived in
+// internal/cluster (in scope).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+var errLocal = errors.New("fixture: local sentinel")
+
+func bareIdent(c *datastore.Collection, d document.D) error {
+	_, err := c.Insert(d)
+	if err != nil {
+		return err // want `Insert returned bare across the package boundary`
+	}
+	return nil
+}
+
+func bareCall(s *datastore.Store) error {
+	return s.Close() // want `Close returned bare across the package boundary`
+}
+
+func wrapped(c *datastore.Collection, d document.D) error {
+	_, err := c.Insert(d)
+	if err != nil {
+		return fmt.Errorf("fixture: insert: %w", err)
+	}
+	return nil
+}
+
+func sentinel(c *datastore.Collection) error {
+	_, err := c.FindID("missing")
+	if err != nil {
+		// Mapping to a typed sentinel is the other sanctioned shape.
+		return datastore.ErrNotFound
+	}
+	return nil
+}
+
+func localSentinel() error {
+	return errLocal // package-level sentinel: allowed
+}
+
+func samePackage() error {
+	return helper() // same-package call: allowed
+}
+
+func helper() error { return nil }

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callee resolves the *types.Func a call invokes — package function or
+// method — or nil for builtins, conversions, and calls of func-typed
+// values (whose target is not statically known).
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeFromPkg reports whether call invokes a function or method
+// declared in the package with the given import path, returning it.
+func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath string) (*types.Func, bool) {
+	f := callee(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return nil, false
+	}
+	return f, true
+}
+
+// recvType returns the receiver type of a method call's target, or nil
+// for package functions.
+func recvType(f *types.Func) types.Type {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// isNamed reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// parentMap records each node's syntactic parent within a file, so
+// analyzers can climb from an expression to its statement context.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(file *ast.File) parentMap {
+	pm := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// enclosingFunc climbs to the innermost FuncDecl or FuncLit containing
+// n, returning its body.
+func enclosingFunc(pm parentMap, n ast.Node) *ast.BlockStmt {
+	for cur := n; cur != nil; cur = pm[cur] {
+		switch f := cur.(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// funcBodies yields every function body in the package (declarations
+// only; literals are reached by walking those bodies).
+func funcBodies(pkg *Package, fn func(decl *ast.FuncDecl, file *ast.File)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd, f)
+			}
+		}
+	}
+}

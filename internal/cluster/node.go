@@ -137,7 +137,10 @@ func isBadRequest(err error) bool {
 
 func writeJSON(w http.ResponseWriter, v any) error {
 	w.Header().Set("Content-Type", "application/json")
-	return json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return fmt.Errorf("cluster: encode response: %w", err)
+	}
+	return nil
 }
 
 func (n *Node) handleInsert(w http.ResponseWriter, r *http.Request) error {
@@ -147,7 +150,7 @@ func (n *Node) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	}
 	id, err := n.store.C(req.Collection).Insert(wire.NormalizeMap(req.Doc))
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: insert %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.InsertResponse{ID: id})
 }
@@ -159,7 +162,7 @@ func (n *Node) handleFind(w http.ResponseWriter, r *http.Request) error {
 	}
 	docs, err := n.store.C(req.Collection).FindAll(wire.NormalizeMap(req.Filter), req.Opts.ToFindOpts())
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: find %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.DocsResponse{Docs: wire.FromDocs(docs)})
 }
@@ -171,7 +174,7 @@ func (n *Node) handleCount(w http.ResponseWriter, r *http.Request) error {
 	}
 	c, err := n.store.C(req.Collection).Count(wire.NormalizeMap(req.Filter))
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: count %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.CountResponse{N: c})
 }
@@ -183,7 +186,7 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) error {
 	}
 	d, err := n.store.C(req.Collection).FindID(req.ID)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: get %s/%s: %w", req.Collection, req.ID, err)
 	}
 	return writeJSON(w, wire.DocResponse{Doc: map[string]any(d)})
 }
@@ -202,7 +205,7 @@ func (n *Node) handleUpdate(w http.ResponseWriter, r *http.Request) error {
 		res, err = c.UpdateOne(wire.NormalizeMap(req.Filter), wire.NormalizeMap(req.Update))
 	}
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: update %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.UpdateResponse{Matched: res.Matched, Modified: res.Modified})
 }
@@ -214,7 +217,7 @@ func (n *Node) handleRemove(w http.ResponseWriter, r *http.Request) error {
 	}
 	c, err := n.store.C(req.Collection).Remove(wire.NormalizeMap(req.Filter))
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: remove %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.CountResponse{N: c})
 }
@@ -226,7 +229,7 @@ func (n *Node) handleAggregate(w http.ResponseWriter, r *http.Request) error {
 	}
 	docs, err := n.store.C(req.Collection).Aggregate(wire.NormalizePipeline(req.Pipeline))
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: aggregate %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.DocsResponse{Docs: wire.FromDocs(docs)})
 }
@@ -238,7 +241,7 @@ func (n *Node) handleDistinct(w http.ResponseWriter, r *http.Request) error {
 	}
 	vals, err := n.store.C(req.Collection).Distinct(req.Path, wire.NormalizeMap(req.Filter))
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: distinct %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.DistinctResponse{Values: vals})
 }
@@ -254,7 +257,7 @@ func (n *Node) handleMapReduce(w http.ResponseWriter, r *http.Request) error {
 	}
 	docs, err := n.store.C(req.Collection).MapReduce(wire.NormalizeMap(req.Filter), job.Map, job.Reduce)
 	if err != nil {
-		return err
+		return fmt.Errorf("cluster: mapreduce %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.DocsResponse{Docs: wire.FromDocs(docs)})
 }

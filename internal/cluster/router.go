@@ -16,6 +16,7 @@ import (
 	"matproj/internal/obs"
 	"matproj/internal/queryengine"
 	"matproj/internal/shard"
+	"matproj/internal/vclock"
 )
 
 // TransportFaults injects failures into the router's node calls. The
@@ -49,6 +50,10 @@ type RouterOptions struct {
 	// HealthInterval starts a background health-check loop when > 0.
 	// Stop it with Close. Tests usually leave it 0 and drive CheckNow.
 	HealthInterval time.Duration
+	// Clock paces the health loop and fault-injected call delays
+	// (nil = the wall clock). Tests inject a vclock.Fake to drive both
+	// deterministically.
+	Clock vclock.Clock
 }
 
 // member is one node endpoint as the router sees it.
@@ -73,6 +78,7 @@ type Router struct {
 	groups   []*rgroup
 	client   *http.Client
 	reg      *obs.Registry
+	clock    vclock.Clock
 
 	faultsMu sync.RWMutex
 	faults   TransportFaults
@@ -90,10 +96,14 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		shardKey: opts.ShardKey,
 		client:   opts.Client,
 		reg:      opts.Registry,
+		clock:    opts.Clock,
 		stopCh:   make(chan struct{}),
 	}
 	if r.shardKey == "" {
 		r.shardKey = "_id"
+	}
+	if r.clock == nil {
+		r.clock = vclock.Wall
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 5 * time.Second}
@@ -141,7 +151,7 @@ func (r *Router) transportFaults() TransportFaults {
 func (r *Router) call(m *member, path string, req, out any) error {
 	if f := r.transportFaults(); f != nil {
 		if d := f.CallDelay(); d > 0 {
-			time.Sleep(d)
+			r.clock.Sleep(d)
 		}
 		if f.DropCall() {
 			r.reg.Counter("cluster_calls_dropped_total").Inc()
@@ -723,13 +733,13 @@ func toDoc(v any) (document.D, bool) {
 
 // healthLoop probes members until Close.
 func (r *Router) healthLoop(interval time.Duration) {
-	t := time.NewTicker(interval)
+	t := r.clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-r.stopCh:
 			return
-		case <-t.C:
+		case <-t.Chan():
 			r.CheckNow()
 		}
 	}

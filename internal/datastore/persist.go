@@ -22,6 +22,8 @@ import (
 // truncates the journal; on open, the snapshot is loaded and the journal
 // replayed on top.
 //
+//lint:file-ignore lockheld the journal mutex exists to serialize file I/O: appends must reach the file in acknowledge order, so the critical section intentionally spans the write
+//
 // Crash safety. Each journal line carries a CRC32-C of its payload
 // ("%08x <json>\n"), so a write torn by a crash — a partial line, a
 // missing newline, a line whose checksum does not match — is detected on
@@ -68,6 +70,12 @@ type journal struct {
 	file   *os.File
 	w      *bufio.Writer
 	faults JournalFaults
+	// werr records the first append-path write/flush failure. Appends
+	// are fire-and-forget for callers, so the error is held here and
+	// surfaced by close() — a store shut down after a failed append
+	// reports that acknowledged writes may not be durable instead of
+	// pretending the journal is intact. Guarded by mu.
+	werr error
 	// obs, when set, receives append/fsync/snapshot latencies and
 	// counters. Guarded by mu like the rest of the journal state.
 	obs *obs.Registry
@@ -155,24 +163,32 @@ func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.file == nil {
-		return nil
+		return j.werr
 	}
 	if err := j.w.Flush(); err != nil {
 		j.file.Close()
 		j.file = nil
 		return err
 	}
-	j.syncTimed(j.file)
+	if err := j.syncTimed(j.file); err != nil {
+		j.file.Close()
+		j.file = nil
+		return err
+	}
 	err := j.file.Close()
 	j.file = nil
+	if err == nil {
+		err = j.werr
+	}
 	return err
 }
 
 // syncTimed fsyncs f and records the latency when the journal is observed.
-func (j *journal) syncTimed(f *os.File) {
+func (j *journal) syncTimed(f *os.File) error {
 	start := time.Now()
-	f.Sync()
+	err := f.Sync()
 	j.obs.LatencyHistogram("datastore.journal.fsync_ms").ObserveDuration(time.Since(start))
+	return err
 }
 
 func (j *journal) append(rec journalRecord) {
@@ -183,6 +199,7 @@ func (j *journal) append(rec journalRecord) {
 	}
 	if j.faults != nil {
 		if d := j.faults.AppendDelay(); d > 0 {
+			//lint:ignore clockdiscipline the injected append stall simulates a slow disk; real elapsed time is the point
 			time.Sleep(d)
 		}
 		if j.faults.DropAppend() {
@@ -195,11 +212,26 @@ func (j *journal) append(rec journalRecord) {
 		return
 	}
 	start := time.Now()
-	j.w.Write(encodeLine(b))
+	if _, err := j.w.Write(encodeLine(b)); err != nil {
+		j.recordWriteErrLocked(err)
+		return
+	}
 	// Flush per record: cheap at our scale and keeps reopen loss-free.
-	j.w.Flush()
+	if err := j.w.Flush(); err != nil {
+		j.recordWriteErrLocked(err)
+		return
+	}
 	j.obs.Counter("datastore.journal.appends").Inc()
 	j.obs.LatencyHistogram("datastore.journal.append_ms").ObserveDuration(time.Since(start))
+}
+
+// recordWriteErrLocked notes a failed append so close() can surface it.
+// Callers hold j.mu.
+func (j *journal) recordWriteErrLocked(err error) {
+	if j.werr == nil {
+		j.werr = fmt.Errorf("datastore: journal append: %w", err)
+	}
+	j.obs.Counter("datastore.journal.append_errors").Inc()
 }
 
 func (j *journal) logWrite(coll string, op journalOp, id string, doc document.D) {
@@ -398,31 +430,11 @@ func (j *journal) snapshot(s *Store) error {
 	s.mu.RUnlock()
 
 	for _, c := range colls {
-		c.mu.RLock()
-		for _, id := range c.order {
-			b, err := c.docs[id].ToJSON()
-			if err != nil {
-				c.mu.RUnlock()
-				f.Close()
-				os.Remove(tmp)
-				return fmt.Errorf("datastore: snapshot doc encode: %w", err)
-			}
-			rec := journalRecord{Op: journalInsert, Collection: c.name, ID: id, Doc: b}
-			rb, err := json.Marshal(rec)
-			if err != nil {
-				c.mu.RUnlock()
-				f.Close()
-				os.Remove(tmp)
-				return fmt.Errorf("datastore: snapshot encode: %w", err)
-			}
-			if _, err := w.Write(encodeLine(rb)); err != nil {
-				c.mu.RUnlock()
-				f.Close()
-				os.Remove(tmp)
-				return err
-			}
+		if err := snapshotCollection(w, c); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
 		}
-		c.mu.RUnlock()
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -445,10 +457,22 @@ func (j *journal) snapshot(s *Store) error {
 	}
 	syncDir(j.dir)
 	// Truncate the journal now that its contents are in the snapshot.
+	// A rotation failure leaves the journal un-truncated, which is
+	// safe: replay applies the (idempotent) journal on top of the new
+	// snapshot.
 	if j.file != nil {
-		j.w.Flush()
-		j.syncTimed(j.file)
-		j.file.Close()
+		if err := j.w.Flush(); err != nil {
+			return fmt.Errorf("datastore: rotate journal: %w", err)
+		}
+		if err := j.syncTimed(j.file); err != nil {
+			return fmt.Errorf("datastore: rotate journal: %w", err)
+		}
+		err := j.file.Close()
+		j.file = nil
+		if err != nil {
+			j.recordWriteErrLocked(err)
+			return fmt.Errorf("datastore: rotate journal: %w", err)
+		}
 	}
 	if err := os.Truncate(journalPath(j.dir), 0); err != nil {
 		return err
@@ -462,6 +486,31 @@ func (j *journal) snapshot(s *Store) error {
 	return nil
 }
 
+// snapshotCollection encodes every document of c into w under the
+// collection's read lock. Only buffered writes happen while the lock
+// is held; flush and fsync run after every collection is released, so
+// the store keeps serving writes to other collections during the disk
+// work.
+func snapshotCollection(w *bufio.Writer, c *Collection) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, id := range c.order {
+		b, err := c.docs[id].ToJSON()
+		if err != nil {
+			return fmt.Errorf("datastore: snapshot doc encode: %w", err)
+		}
+		rec := journalRecord{Op: journalInsert, Collection: c.name, ID: id, Doc: b}
+		rb, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("datastore: snapshot encode: %w", err)
+		}
+		if _, err := w.Write(encodeLine(rb)); err != nil {
+			return fmt.Errorf("datastore: snapshot write: %w", err)
+		}
+	}
+	return nil
+}
+
 // syncDir fsyncs a directory so a just-renamed file survives power loss.
 // Best-effort: some filesystems reject directory fsync.
 func syncDir(dir string) {
@@ -469,6 +518,7 @@ func syncDir(dir string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
+	//lint:ignore fsyncerr directory fsync is best-effort: some filesystems reject it and the rename above is already durable on the ones we target
+	_ = d.Sync()
 	d.Close()
 }

@@ -2,10 +2,10 @@ package fireworks
 
 import (
 	"errors"
-	"time"
 
 	"matproj/internal/datastore"
 	"matproj/internal/document"
+	"matproj/internal/vclock"
 )
 
 // Lost-run recovery. A claim is not permanent ownership but a lease:
@@ -57,7 +57,7 @@ func (lp *LaunchPad) ConfigureLeases(leaseSecs, backoffBase float64) {
 	}
 }
 
-func wallClock() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+func wallClock() float64 { return vclock.Seconds(vclock.Wall) }
 
 func (lp *LaunchPad) now() float64 {
 	lp.leaseMu.Lock()

@@ -59,7 +59,7 @@ func (a *Auth) Signup(provider, email string) (string, error) {
 		"api_key":  key,
 	})
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("restapi: store user record: %w", err)
 	}
 	return key, nil
 }

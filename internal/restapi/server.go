@@ -57,7 +57,8 @@ func NewServer(engine *queryengine.Engine, auth *Auth, store *datastore.Store) *
 		Auth:                auth,
 		Store:               store,
 		MaterialsCollection: "materials",
-		start:               time.Now(),
+		//lint:ignore clockdiscipline /metrics uptime reports real wall-clock age by design
+		start: time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /auth/signup", s.instrument("signup", s.handleSignup))

@@ -1,0 +1,90 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now = %v, want %v", got, start)
+	}
+	f.Advance(90 * time.Second)
+	if got := f.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+	if s := Seconds(f); s != 1090 {
+		t.Fatalf("Seconds = %v, want 1090", s)
+	}
+}
+
+func TestFakeSleepWokenByAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register before advancing; otherwise the
+	// advances can run first and the wake-up lands past both of them.
+	for {
+		f.mu.Lock()
+		registered := len(f.wakeups) > 0
+		f.mu.Unlock()
+		if registered {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The sleeper must not wake before the clock passes its deadline.
+	f.Advance(5 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before the clock reached the deadline")
+	case <-time.After(10 * time.Millisecond):
+	}
+	f.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not wake after Advance past the deadline")
+	}
+}
+
+func TestFakeTicker(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	select {
+	case <-tk.Chan():
+		t.Fatal("tick before any time elapsed")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tk.Chan():
+	default:
+		t.Fatal("no tick after one interval")
+	}
+	// Coalescing: a long advance delivers at most the buffered tick.
+	f.Advance(10 * time.Second)
+	<-tk.Chan()
+	tk.Stop()
+	f.Advance(time.Second)
+	select {
+	case <-tk.Chan():
+		t.Fatal("tick after Stop")
+	default:
+	}
+}
+
+func TestWallTicker(t *testing.T) {
+	tk := Wall.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.Chan():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall ticker never ticked")
+	}
+}

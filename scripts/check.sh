@@ -1,13 +1,28 @@
 #!/usr/bin/env sh
-# Repository gate: vet, build, the full test suite under the race
-# detector, and a short fuzz smoke over each fuzz target (seed corpus
-# plus a few seconds of mutation — enough to catch regressions in the
-# filter/update/path invariants without turning CI into a fuzz farm).
+# Repository gate: vet + mplint, build, the full test suite under the
+# race detector, a concurrency stress pass, and a short fuzz smoke over
+# each fuzz target (seed corpus plus a few seconds of mutation — enough
+# to catch regressions in the filter/update/path invariants without
+# turning CI into a fuzz farm).
 set -eu
 cd "$(dirname "$0")/.."
+
+# Static analysis gate. mplint (cmd/mplint) enforces the repo's
+# concurrency/determinism/durability invariants; its exit-code contract:
+#   0 — clean; the gate proceeds
+#   1 — findings; set -e stops the gate right here (fix the code or add
+#       a //lint:ignore <analyzer> <reason> with a real justification)
+#   2 — load/type error; the tree does not even type-check
 go vet ./...
+go run ./cmd/mplint ./...
 go build ./...
 go test -race ./...
+
+# Stress pass: the lock-ordering and lease/failover machinery is where
+# interleaving bugs hide; run those suites twice under the race
+# detector so flaky schedules get a second chance to trip it.
+echo "stress pass (-race -count=2: cluster, fireworks)..."
+go test -race -count=2 ./internal/cluster/ ./internal/fireworks/
 
 FUZZTIME="${FUZZTIME:-5s}"
 echo "fuzz smoke (${FUZZTIME} per target)..."
