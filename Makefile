@@ -23,11 +23,13 @@ check:
 	./scripts/check.sh
 
 # bench runs the Go benchmarks once each, then the instrumented
-# deployment benchmark, which writes BENCH_core.json (timed loops) and
-# BENCH_obs.json (the live metrics registry after the same traffic).
+# deployment benchmark (BENCH_core.json + BENCH_obs.json) and the
+# result-cache benchmark (BENCH_cache.json: hot-read speedup and
+# miss-path overhead).
 bench:
 	go test -bench . -benchtime 1x -run '^$$' .
 	go run ./cmd/mpbench -exp bench -scale small
+	go run ./cmd/mpbench -exp cache -scale small
 
 # fuzz runs each fuzz target for longer than the check-gate smoke.
 fuzz:

@@ -20,11 +20,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|all)")
 	scaleName := flag.String("scale", "full", "experiment scale (small|full)")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "bench mode: timed-loop results file")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "bench mode: metrics registry snapshot file")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "cluster mode: standalone-vs-routed results file")
+	cacheOut := flag.String("cache-out", "BENCH_cache.json", "cache mode: result-cache hot/miss results file")
 	flag.Parse()
 
 	sc := experiments.Full
@@ -123,6 +124,11 @@ func main() {
 		// 1/2/4-shard Find+Aggregate throughput into BENCH_cluster.json.
 		"cluster": func() error {
 			return runClusterBench(sc, *clusterOut)
+		},
+		// cache writes the result-cache hot-read speedup and miss-path
+		// overhead into BENCH_cache.json.
+		"cache": func() error {
+			return runCacheBench(sc, *cacheOut)
 		},
 	}
 

@@ -40,6 +40,7 @@ import (
 	"matproj/internal/obs"
 	"matproj/internal/pipeline"
 	"matproj/internal/queryengine"
+	"matproj/internal/rcache"
 	"matproj/internal/restapi"
 	"matproj/internal/webui"
 )
@@ -57,6 +58,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated shard node base URLs (router role)")
 	shards := flag.Int("shards", 1, "shard group count; peers are assigned round-robin (router role)")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "router health-check period (0 disables the loop)")
+	cacheSize := flag.Int("cache-size", 4096, "result cache capacity in entries (standalone, router)")
+	cacheOff := flag.Bool("cache-off", false, "disable the read-path result cache")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -68,13 +71,20 @@ func main() {
 		}
 	}
 
+	// The result cache serves repeated hot reads without recomputing the
+	// query (nodes don't get one: the router caches on their behalf).
+	var rc *rcache.Cache
+	if !*cacheOff {
+		rc = rcache.New(*cacheSize, reg)
+	}
+
 	switch *role {
 	case "standalone":
-		runStandalone(*addr, *nMaterials, *dataDir, *seed, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+		runStandalone(*addr, *nMaterials, *dataDir, *seed, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
 	case "node":
 		runNode(*addr, *nodeID, *dataDir, reg)
 	case "router":
-		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
 	default:
 		fmt.Fprintf(os.Stderr, "mpserve: unknown role %q (want standalone, node, or router)\n", *role)
 		os.Exit(2)
@@ -108,7 +118,7 @@ func runNode(addr, id, dataDir string, reg *obs.Registry) {
 // store (the paper isolates "the various roles of the database to
 // separate servers").
 func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEvery time.Duration,
-	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
+	rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
 	var urls []string
 	for _, p := range strings.Split(peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -129,6 +139,7 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 		Groups:         groups,
 		Registry:       reg,
 		HealthInterval: healthEvery,
+		Cache:          rc,
 	})
 	if err != nil {
 		log.Fatalf("mpserve: router: %v", err)
@@ -155,6 +166,7 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 
 	// The dissemination layer runs unchanged in front of the cluster.
 	eng := queryengine.NewWithBackend(router, queryengine.WithRateLimit(10000, time.Minute))
+	eng.SetCache(rc)
 	if reg != nil || tracer != nil {
 		eng.Observe(reg, tracer)
 	}
@@ -169,7 +181,7 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 }
 
 func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
-	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
+	rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
 	cfg := pipeline.DefaultConfig()
 	cfg.NMaterials = nMaterials
 	cfg.PersistDir = dataDir
@@ -181,6 +193,7 @@ func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
 	if err != nil {
 		log.Fatalf("mpserve: build: %v", err)
 	}
+	d.Engine.SetCache(rc)
 	st := d.Store.Stats()
 	log.Printf("store ready: %d collections, %d documents, ~%d KB", st.Collections, st.Documents, st.Bytes/1024)
 	log.Printf("materials=%d tasks=%d bandstructures=%d xrd=%d batteries=%d",

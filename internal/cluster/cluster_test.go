@@ -12,6 +12,7 @@ import (
 	"matproj/internal/document"
 	"matproj/internal/faults"
 	"matproj/internal/obs"
+	"matproj/internal/rcache"
 )
 
 // The seeded fault injector must satisfy the router's transport-fault
@@ -31,6 +32,12 @@ type testCluster struct {
 // replicas counts extra members beyond the primary.
 func startCluster(t *testing.T, shards, replicas int) *testCluster {
 	t.Helper()
+	return startClusterCache(t, shards, replicas, nil)
+}
+
+// startClusterCache is startCluster with a router-side result cache.
+func startClusterCache(t *testing.T, shards, replicas int, rc *rcache.Cache) *testCluster {
+	t.Helper()
 	tc := &testCluster{reg: obs.NewRegistry()}
 	var groups [][]string
 	for gi := 0; gi < shards; gi++ {
@@ -49,7 +56,7 @@ func startCluster(t *testing.T, shards, replicas int) *testCluster {
 		tc.servers = append(tc.servers, srvs)
 		tc.nodes = append(tc.nodes, nodes)
 	}
-	r, err := cluster.NewRouter(cluster.RouterOptions{Groups: groups, Registry: tc.reg})
+	r, err := cluster.NewRouter(cluster.RouterOptions{Groups: groups, Registry: tc.reg, Cache: rc})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"matproj/internal/cluster/wire"
@@ -15,6 +16,7 @@ import (
 	"matproj/internal/document"
 	"matproj/internal/obs"
 	"matproj/internal/queryengine"
+	"matproj/internal/rcache"
 	"matproj/internal/shard"
 	"matproj/internal/vclock"
 )
@@ -44,6 +46,11 @@ type RouterOptions struct {
 	ShardKey string
 	// Registry receives router metrics (nil = no-op).
 	Registry *obs.Registry
+	// Cache, when non-nil, serves repeated per-shard reads without a
+	// network round trip. Entries are validated by per-(collection,
+	// shard) write generations the router bumps on every routed write,
+	// so a write to one shard invalidates only that shard's entries.
+	Cache *rcache.Cache
 	// Client is the HTTP client for node calls (nil = a client with a
 	// 5-second timeout).
 	Client *http.Client
@@ -79,6 +86,8 @@ type Router struct {
 	client   *http.Client
 	reg      *obs.Registry
 	clock    vclock.Clock
+	rc       *rcache.Cache
+	gens     shardGens
 
 	faultsMu sync.RWMutex
 	faults   TransportFaults
@@ -97,6 +106,8 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		client:   opts.Client,
 		reg:      opts.Registry,
 		clock:    opts.Clock,
+		rc:       opts.Cache,
+		gens:     shardGens{m: make(map[string][]*atomic.Uint64), n: len(opts.Groups)},
 		stopCh:   make(chan struct{}),
 	}
 	if r.shardKey == "" {
@@ -343,6 +354,95 @@ func (r *Router) targets(filter document.D) ([]int, error) {
 	return shard.Targets(filter, r.shardKey, len(r.groups))
 }
 
+// ---- Result cache plumbing ------------------------------------------
+
+// shardGens tracks one write generation per (collection, shard group).
+// Slots are created lazily and only ever incremented, so each slot — and
+// therefore a collection's sum across slots — is strictly increasing
+// across routed writes. That monotonicity is what lets the result cache
+// and the REST ETags treat "generation changed" as "data may have
+// changed".
+type shardGens struct {
+	mu sync.RWMutex
+	m  map[string][]*atomic.Uint64
+	n  int // shard group count
+}
+
+// slot returns the generation counter for one (collection, group) pair,
+// creating the collection's row on first touch.
+func (g *shardGens) slot(collection string, gi int) *atomic.Uint64 {
+	g.mu.RLock()
+	row := g.m[collection]
+	g.mu.RUnlock()
+	if row == nil {
+		g.mu.Lock()
+		if row = g.m[collection]; row == nil {
+			row = make([]*atomic.Uint64, g.n)
+			for i := range row {
+				row[i] = new(atomic.Uint64)
+			}
+			g.m[collection] = row
+		}
+		g.mu.Unlock()
+	}
+	return row[gi]
+}
+
+// sum reports the collection-wide generation (sum across shard groups).
+func (g *shardGens) sum(collection string) uint64 {
+	g.mu.RLock()
+	row := g.m[collection]
+	g.mu.RUnlock()
+	var total uint64
+	for _, a := range row {
+		total += a.Load()
+	}
+	return total
+}
+
+// bumpGen advances one shard's write generation for a collection. Writes
+// bump after the routed call returns — even on error, since a replicated
+// write can fail after some members already applied it.
+func (r *Router) bumpGen(collection string, gi int) {
+	r.gens.slot(collection, gi).Add(1)
+}
+
+// groupRead serves one per-group read through the result cache, keyed by
+// the wire request's JSON (encoding/json sorts map keys, so equivalent
+// filters render identically) and validated by that group's write
+// generation. The generation is loaded before the remote call, so an
+// entry can never claim to be fresher than the data it holds. A nil
+// cache, a request that fails to marshal, or cached=false all fall
+// through to a direct call — updateOne's internal read uses the latter
+// so its read-modify-write cycle never consults the cache.
+func (r *Router) groupRead(cached bool, collection string, gi int, op string, req any, compute func() (any, error)) (any, error) {
+	if !cached || r.rc == nil {
+		return compute()
+	}
+	arg, err := json.Marshal(req)
+	if err != nil {
+		return compute()
+	}
+	gen := r.gens.slot(collection, gi).Load()
+	v, _, err := r.rc.GetOrCompute(rcache.KeyFor(collection, fmt.Sprintf("s%d.%s", gi, op), string(arg)), gen, compute)
+	//lint:ignore wrapcheck GetOrCompute returns the compute closure's error verbatim — it is already this package's error (wrapping again would double-wrap ErrUnavailable chains)
+	return v, err
+}
+
+// copyRoutedDocs deep-copies documents leaving the cache so callers can
+// retain and mutate them freely; uncached reads return fresh data and
+// skip the copy.
+func copyRoutedDocs(docs []document.D, cached bool) []document.D {
+	if !cached {
+		return docs
+	}
+	out := make([]document.D, len(docs))
+	for i, d := range docs {
+		out[i] = d.Copy()
+	}
+	return out
+}
+
 // ---- Write path -----------------------------------------------------
 
 // Insert routes a document to its shard group and replicates it to every
@@ -377,6 +477,7 @@ func (r *Router) Insert(collection string, doc document.D) (string, error) {
 		}
 		return nil
 	})
+	r.bumpGen(collection, gi)
 	if err != nil {
 		return "", err
 	}
@@ -439,7 +540,7 @@ func (r *Router) Remove(collection string, filter document.D) (int, error) {
 	var mu sync.Mutex
 	err = r.scatter(targets, func(gi int) error {
 		first := true
-		return r.writeOnGroup(gi, func(m *member) error {
+		werr := r.writeOnGroup(gi, func(m *member) error {
 			var resp wire.CountResponse
 			if err := r.call(m, wire.PathRemove, wire.RemoveRequest{Collection: collection, Filter: wireMap(filter)}, &resp); err != nil {
 				return err
@@ -452,6 +553,8 @@ func (r *Router) Remove(collection string, filter document.D) (int, error) {
 			mu.Unlock()
 			return nil
 		})
+		r.bumpGen(collection, gi)
+		return werr
 	})
 	return total, err
 }
@@ -466,7 +569,7 @@ func (r *Router) updateMany(collection string, filter, update document.D) (datas
 	var mu sync.Mutex
 	err = r.scatter(targets, func(gi int) error {
 		first := true
-		return r.writeOnGroup(gi, func(m *member) error {
+		werr := r.writeOnGroup(gi, func(m *member) error {
 			var resp wire.UpdateResponse
 			req := wire.UpdateRequest{Collection: collection, Filter: wireMap(filter), Update: wireMap(update), Many: true}
 			if err := r.call(m, wire.PathUpdate, req, &resp); err != nil {
@@ -481,6 +584,8 @@ func (r *Router) updateMany(collection string, filter, update document.D) (datas
 			mu.Unlock()
 			return nil
 		})
+		r.bumpGen(collection, gi)
+		return werr
 	})
 	return res, err
 }
@@ -489,7 +594,10 @@ func (r *Router) updateMany(collection string, filter, update document.D) (datas
 // one match to learn its _id, then replicates an UpdateMany pinned to
 // that _id so every replica modifies the same document.
 func (r *Router) updateOne(collection string, filter, update document.D) (datastore.UpdateResult, error) {
-	docs, err := r.findAll(collection, filter, &datastore.FindOpts{Limit: 1})
+	// The pinning read bypasses the result cache: a read-modify-write
+	// cycle must see the shard's current state, not a cached snapshot,
+	// to preserve the ≥1-ack replication semantics.
+	docs, err := r.findAllCached(collection, filter, &datastore.FindOpts{Limit: 1}, false)
 	if err != nil {
 		return datastore.UpdateResult{}, err
 	}
@@ -507,7 +615,12 @@ func (r *Router) updateOne(collection string, filter, update document.D) (datast
 
 // findAll scatter-gathers a filtered read and applies the global
 // merge-sort/skip/limit, matching internal/shard semantics exactly.
+// Per-group responses are served through the result cache.
 func (r *Router) findAll(collection string, filter document.D, opts *datastore.FindOpts) ([]document.D, error) {
+	return r.findAllCached(collection, filter, opts, true)
+}
+
+func (r *Router) findAllCached(collection string, filter document.D, opts *datastore.FindOpts, cached bool) ([]document.D, error) {
 	targets, err := r.targets(filter)
 	if err != nil {
 		return nil, err
@@ -521,14 +634,21 @@ func (r *Router) findAll(collection string, filter document.D, opts *datastore.F
 	}
 	results := make([][]document.D, len(targets))
 	err = r.scatter(targets, func(gi int) error {
-		var resp wire.DocsResponse
 		req := wire.FindRequest{Collection: collection, Filter: wireMap(filter), Opts: wire.FromFindOpts(perShard)}
-		if err := r.readOnGroup(gi, wire.PathFind, req, &resp); err != nil {
+		v, err := r.groupRead(cached, collection, gi, "find", req, func() (any, error) {
+			var resp wire.DocsResponse
+			if err := r.readOnGroup(gi, wire.PathFind, req, &resp); err != nil {
+				return nil, err
+			}
+			return resp.NormalizedDocs(), nil
+		})
+		if err != nil {
 			return err
 		}
+		docs := copyRoutedDocs(v.([]document.D), cached)
 		for slot, t := range targets {
 			if t == gi {
-				results[slot] = resp.NormalizedDocs()
+				results[slot] = docs
 			}
 		}
 		return nil
@@ -575,12 +695,19 @@ func (r *Router) count(collection string, filter document.D) (int, error) {
 	total := 0
 	var mu sync.Mutex
 	err = r.scatter(targets, func(gi int) error {
-		var resp wire.CountResponse
-		if err := r.readOnGroup(gi, wire.PathCount, wire.CountRequest{Collection: collection, Filter: wireMap(filter)}, &resp); err != nil {
+		req := wire.CountRequest{Collection: collection, Filter: wireMap(filter)}
+		v, err := r.groupRead(true, collection, gi, "count", req, func() (any, error) {
+			var resp wire.CountResponse
+			if err := r.readOnGroup(gi, wire.PathCount, req, &resp); err != nil {
+				return nil, err
+			}
+			return resp.N, nil
+		})
+		if err != nil {
 			return err
 		}
 		mu.Lock()
-		total += resp.N
+		total += v.(int)
 		mu.Unlock()
 		return nil
 	})
@@ -595,13 +722,25 @@ func (r *Router) distinct(collection, path string, filter document.D) ([]any, er
 	}
 	lists := make([][]any, len(targets))
 	err = r.scatter(targets, func(gi int) error {
-		var resp wire.DistinctResponse
-		if err := r.readOnGroup(gi, wire.PathDistinct, wire.DistinctRequest{Collection: collection, Path: path, Filter: wireMap(filter)}, &resp); err != nil {
+		req := wire.DistinctRequest{Collection: collection, Path: path, Filter: wireMap(filter)}
+		v, err := r.groupRead(true, collection, gi, "distinct", req, func() (any, error) {
+			var resp wire.DistinctResponse
+			if err := r.readOnGroup(gi, wire.PathDistinct, req, &resp); err != nil {
+				return nil, err
+			}
+			vals := make([]any, len(resp.Values))
+			for i, rv := range resp.Values {
+				vals[i] = document.Normalize(rv)
+			}
+			return vals, nil
+		})
+		if err != nil {
 			return err
 		}
-		vals := make([]any, len(resp.Values))
-		for i, v := range resp.Values {
-			vals[i] = document.Normalize(v)
+		cached := v.([]any)
+		vals := make([]any, len(cached))
+		for i, cv := range cached {
+			vals[i] = document.CopyValue(cv)
 		}
 		for slot, t := range targets {
 			if t == gi {
@@ -862,4 +1001,12 @@ func (c routedCollection) Insert(doc document.D) (string, error) {
 
 func (c routedCollection) Aggregate(pipeline []document.D) ([]document.D, error) {
 	return c.r.aggregate(c.name, pipeline)
+}
+
+// Generation reports the sum of this collection's per-shard write
+// generations. Each slot only ever increases, so the sum strictly
+// increases across routed writes — the monotonicity the engine-level
+// result cache and REST ETags rely on.
+func (c routedCollection) Generation() uint64 {
+	return c.r.gens.sum(c.name)
 }

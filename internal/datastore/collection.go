@@ -18,6 +18,11 @@ func nextID() string {
 	return fmt.Sprintf("oid%012x", idCounter.Add(1))
 }
 
+// genCounter issues write generations. It is process-global (not
+// per-collection) so a collection that is dropped and re-created can
+// never repeat a generation that a cache entry was stored under.
+var genCounter atomic.Uint64
+
 // Collection is a named set of documents keyed by "_id". All methods are
 // safe for concurrent use; writes take an exclusive lock, reads a shared
 // lock, mirroring MongoDB's (v2-era) per-collection locking.
@@ -32,17 +37,37 @@ type Collection struct {
 	seqNext int
 	indexes map[string]*index
 	bytes   int
+
+	// gen is the collection's write generation: it takes a fresh value
+	// from genCounter after every mutation (insert, update, remove —
+	// including journal replay and snapshot restore, which flow through
+	// the same *Locked mutators). A read result captured at generation g
+	// is valid iff Generation() still returns g.
+	gen atomic.Uint64
 }
 
 func newCollection(name string, store *Store) *Collection {
-	return &Collection{
+	c := &Collection{
 		name:    name,
 		store:   store,
 		docs:    make(map[string]document.D),
 		seq:     make(map[string]int),
 		indexes: make(map[string]*index),
 	}
+	c.gen.Store(genCounter.Add(1))
+	return c
 }
+
+// Generation reports the collection's current write generation. It
+// changes after every acknowledged write: the bump happens inside the
+// write lock, after the mutation is applied, so a reader that loads the
+// generation *before* reading data can safely cache the result under it
+// — any later write produces a different generation.
+func (c *Collection) Generation() uint64 { return c.gen.Load() }
+
+// bumpGenLocked advances the write generation. Callers hold c.mu
+// exclusively, so per-collection generations are strictly increasing.
+func (c *Collection) bumpGenLocked() { c.gen.Store(genCounter.Add(1)) }
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
@@ -116,6 +141,7 @@ func (c *Collection) insertLocked(id string, d document.D) {
 	for _, idx := range c.indexes {
 		idx.add(id, d)
 	}
+	c.bumpGenLocked()
 }
 
 func (c *Collection) removeLocked(id string) {
@@ -135,6 +161,7 @@ func (c *Collection) removeLocked(id string) {
 	for _, idx := range c.indexes {
 		idx.remove(id, d)
 	}
+	c.bumpGenLocked()
 }
 
 // replaceLocked swaps the stored document for id, maintaining indexes.
@@ -146,6 +173,7 @@ func (c *Collection) replaceLocked(id string, newDoc document.D) {
 	}
 	c.bytes += document.ApproxSize(newDoc) - document.ApproxSize(old)
 	c.docs[id] = newDoc
+	c.bumpGenLocked()
 }
 
 // FindOpts controls a query: projection, sort order, skip and limit.
@@ -244,6 +272,7 @@ func (c *Collection) FindID(id string) (document.D, error) {
 
 // Count returns the number of documents matching filter.
 func (c *Collection) Count(filter document.D) (int, error) {
+	start := time.Now()
 	flt, err := query.Compile(filter)
 	if err != nil {
 		return 0, err
@@ -251,26 +280,31 @@ func (c *Collection) Count(filter document.D) (int, error) {
 	c.mu.RLock()
 	n := len(c.scanLocked(flt))
 	c.mu.RUnlock()
+	c.profile("count", start, n)
 	return n, nil
 }
 
 // Distinct returns the distinct values at a dotted path among matching
 // documents. Array values contribute their elements. The result is sorted
-// by document.Compare order.
+// by document.Compare order. Deduplication keys a map on canonicalKey, so
+// int64/float64 values that are numerically equal collapse (3 and 3.0 are
+// one value), matching index-bucket semantics.
 func (c *Collection) Distinct(path string, filter document.D) ([]any, error) {
+	start := time.Now()
 	flt, err := query.Compile(filter)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.RLock()
-	seen := make([]any, 0, 16)
+	seen := make(map[string]struct{}, 16)
+	vals := make([]any, 0, 16)
 	add := func(v any) {
-		for _, s := range seen {
-			if document.Equal(s, v) {
-				return
-			}
+		k := canonicalKey(v)
+		if _, dup := seen[k]; dup {
+			return
 		}
-		seen = append(seen, v)
+		seen[k] = struct{}{}
+		vals = append(vals, v)
 	}
 	for _, id := range c.scanLocked(flt) {
 		v, ok := c.docs[id].Get(path)
@@ -286,8 +320,9 @@ func (c *Collection) Distinct(path string, filter document.D) ([]any, error) {
 		}
 	}
 	c.mu.RUnlock()
-	sort.Slice(seen, func(i, j int) bool { return document.Compare(seen[i], seen[j]) < 0 })
-	return seen, nil
+	sort.Slice(vals, func(i, j int) bool { return document.Compare(vals[i], vals[j]) < 0 })
+	c.profile("distinct", start, len(vals))
+	return vals, nil
 }
 
 // UpdateResult reports what an update did.

@@ -11,6 +11,7 @@
 package queryengine
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"matproj/internal/datastore"
 	"matproj/internal/document"
 	"matproj/internal/obs"
+	"matproj/internal/rcache"
 )
 
 // Backend is the storage surface the engine fronts. A local
@@ -44,6 +46,11 @@ type Collection interface {
 	UpdateMany(filter, update document.D) (datastore.UpdateResult, error)
 	Insert(doc document.D) (string, error)
 	Aggregate(pipeline []document.D) ([]document.D, error)
+	// Generation reports the collection's write generation (see
+	// datastore.Collection.Generation): it changes after every
+	// acknowledged write, and the read-path result cache and the REST
+	// layer's ETags key validity on it.
+	Generation() uint64
 }
 
 // storeBackend adapts *datastore.Store to Backend (Store.C returns the
@@ -62,6 +69,12 @@ type Engine struct {
 	// accounting.
 	obsReg atomic.Pointer[obs.Registry]
 	obsTr  atomic.Pointer[obs.Tracer]
+
+	// cache, when set, serves Find/Count/Distinct results validated by
+	// the backend collection's write generation (nil = every read
+	// recomputes). Cached values are deep-copied on the way out, so
+	// callers never alias the cache.
+	cache atomic.Pointer[rcache.Cache]
 
 	mu sync.RWMutex
 	// aliases maps collection -> alias -> physical dotted path.
@@ -86,6 +99,11 @@ func WithRateLimit(n int, interval time.Duration) Option {
 // deployment may deny "$regex" to prevent expensive scans).
 func WithDeniedOperator(op string) Option {
 	return func(e *Engine) { e.deniedOps[op] = true }
+}
+
+// WithCache installs a read-path result cache (see SetCache).
+func WithCache(c *rcache.Cache) Option {
+	return func(e *Engine) { e.cache.Store(c) }
 }
 
 // New wraps a local store.
@@ -113,6 +131,52 @@ func NewWithBackend(b Backend, opts ...Option) *Engine {
 func (e *Engine) Observe(reg *obs.Registry, tr *obs.Tracer) {
 	e.obsReg.Store(reg)
 	e.obsTr.Store(tr)
+}
+
+// SetCache installs (nil removes) the read-path result cache. Safe to
+// call while queries are flowing.
+func (e *Engine) SetCache(c *rcache.Cache) { e.cache.Store(c) }
+
+// Generation reports the backend write generation of a logical
+// collection (collection aliases resolved). The REST layer derives
+// entity tags from it: any acknowledged write to the collection changes
+// the value, so If-None-Match revalidation stays exact.
+func (e *Engine) Generation(collection string) uint64 {
+	return e.store.C(e.physical(collection)).Generation()
+}
+
+// cacheArg renders the canonical cache argument for a read: compact JSON
+// with sorted keys at every nesting level (encoding/json sorts map
+// keys), so semantically identical filters from different clients share
+// an entry. The false return (marshal failure — a filter holding a
+// non-JSON value) bypasses the cache rather than failing the read.
+func cacheArg(filter document.D, opts *datastore.FindOpts, field string) (string, bool) {
+	spec := struct {
+		F map[string]any `json:"f,omitempty"`
+		P map[string]any `json:"p,omitempty"`
+		S []string       `json:"s,omitempty"`
+		K int            `json:"k,omitempty"`
+		L int            `json:"l,omitempty"`
+		D string         `json:"d,omitempty"`
+	}{F: filter, D: field}
+	if opts != nil {
+		spec.P, spec.S, spec.K, spec.L = opts.Projection, opts.Sort, opts.Skip, opts.Limit
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// copyDocs deep-copies a cached result slice so no two callers (or the
+// cache itself) share document memory.
+func copyDocs(docs []document.D) []document.D {
+	out := make([]document.D, len(docs))
+	for i, d := range docs {
+		out[i] = d.Copy()
+	}
+	return out
 }
 
 // observeOp records one engine operation: a per-op latency histogram and
@@ -384,7 +448,27 @@ func (e *Engine) Find(user, collection string, filter document.D, opts *datastor
 		copyOpts.Sort = e.translateSort(collection, opts.Sort)
 		o = &copyOpts
 	}
-	return e.store.C(e.physical(collection)).FindAll(f, o)
+	coll := e.store.C(e.physical(collection))
+	rc := e.cache.Load()
+	if rc == nil {
+		return coll.FindAll(f, o)
+	}
+	arg, ok := cacheArg(f, o, "")
+	if !ok {
+		return coll.FindAll(f, o)
+	}
+	// Load the generation before reading: a write landing after this
+	// point produces a new generation, so the entry stored under gen can
+	// never serve a reader that starts after that write acknowledges.
+	gen := coll.Generation()
+	v, _, err := rc.GetOrCompute(rcache.KeyFor(e.physical(collection), "find", arg), gen, func() (any, error) {
+		d, cerr := coll.FindAll(f, o)
+		return d, cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return copyDocs(v.([]document.D)), nil
 }
 
 func (e *Engine) translateSort(collection string, sortSpec []string) []string {
@@ -437,7 +521,24 @@ func (e *Engine) Count(user, collection string, filter document.D) (n int, err e
 	if err != nil {
 		return 0, err
 	}
-	return e.store.C(e.physical(collection)).Count(f)
+	coll := e.store.C(e.physical(collection))
+	rc := e.cache.Load()
+	if rc == nil {
+		return coll.Count(f)
+	}
+	arg, ok := cacheArg(f, nil, "")
+	if !ok {
+		return coll.Count(f)
+	}
+	gen := coll.Generation()
+	v, _, err := rc.GetOrCompute(rcache.KeyFor(e.physical(collection), "count", arg), gen, func() (any, error) {
+		cn, cerr := coll.Count(f)
+		return cn, cerr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(int), nil
 }
 
 // Distinct lists distinct values of a (possibly aliased) field.
@@ -458,7 +559,29 @@ func (e *Engine) Distinct(user, collection, field string, filter document.D) (va
 		}
 	}
 	e.mu.RUnlock()
-	return e.store.C(e.physical(collection)).Distinct(field, f)
+	coll := e.store.C(e.physical(collection))
+	rc := e.cache.Load()
+	if rc == nil {
+		return coll.Distinct(field, f)
+	}
+	arg, ok := cacheArg(f, nil, field)
+	if !ok {
+		return coll.Distinct(field, f)
+	}
+	gen := coll.Generation()
+	v, _, err := rc.GetOrCompute(rcache.KeyFor(e.physical(collection), "distinct", arg), gen, func() (any, error) {
+		dv, cerr := coll.Distinct(field, f)
+		return dv, cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := v.([]any)
+	copied := make([]any, len(out))
+	for i, val := range out {
+		copied[i] = document.CopyValue(val)
+	}
+	return copied, nil
 }
 
 // Update applies a sanitized update; many selects UpdateMany.

@@ -1,0 +1,273 @@
+// Package rcache is the serving tier's read-path result cache. The
+// paper's dissemination workload is dominated by repeated hot reads —
+// Fig. 5's week covers 3,315 distinct queries returning 12,951,099
+// records, i.e. the same materials documents fetched over and over — so
+// recomputing every Find from a full filter evaluation wastes almost all
+// of the read budget.
+//
+// The cache is a bounded LRU keyed by an opaque string (collection +
+// operation + canonical JSON of the filter/options), validated by write
+// generations rather than TTLs: every entry stores the generation its
+// caller observed *before* computing, and a lookup hits only when the
+// caller's current generation matches. Collections bump their generation
+// inside the write lock after each mutation, so the protocol gives a
+// hard freshness guarantee — a cached read never returns data older than
+// the last acknowledged write — without any explicit invalidation
+// traffic. Stale entries are dropped on sight and recycled by LRU
+// pressure.
+//
+// Concurrent identical misses are collapsed singleflight-style: the
+// first caller computes, everyone else waiting on the same (key,
+// generation) receives the same result. A thundering herd of the same
+// hot query computes once. Flights are generation-scoped, so a caller
+// that has already observed a newer write never joins a flight started
+// before that write.
+package rcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"matproj/internal/obs"
+)
+
+// Cache is a bounded, concurrency-safe, generation-validated result
+// cache. All methods are nil-receiver-safe: a nil *Cache computes
+// directly and caches nothing, so call sites need no "is caching on"
+// branches.
+type Cache struct {
+	max int
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	ll      *list.List // front = most recently used
+	flights map[string]*flight
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	collapsed     atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type entry struct {
+	key  string
+	gen  uint64
+	val  any
+	elem *list.Element
+}
+
+// flight is one in-progress computation for a (key, generation) pair.
+type flight struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// New returns a cache holding at most max entries (max <= 0 selects a
+// default of 4096). reg receives hit/miss/eviction/invalidation counters
+// and the hit-ratio gauge; nil is fine (obs instruments are no-ops).
+func New(max int, reg *obs.Registry) *Cache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Cache{
+		max:     max,
+		reg:     reg,
+		entries: make(map[string]*entry),
+		ll:      list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// KeyFor renders a cache key from a collection, an operation name, and
+// the operation's canonical argument (compact JSON with sorted keys).
+// NUL separators keep the three parts from colliding.
+func KeyFor(collection, op, arg string) string {
+	return collection + "\x00" + op + "\x00" + arg
+}
+
+// flightKey scopes an in-flight computation to the generation its
+// callers observed, so a caller holding a newer generation starts a
+// fresh computation instead of inheriting a pre-write result.
+func flightKey(key string, gen uint64) string {
+	// Manual base-16 render; avoids strconv in the hot path for no
+	// reason other than keeping the dependency list short.
+	var buf [16]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = "0123456789abcdef"[gen&0xf]
+		gen >>= 4
+		if gen == 0 {
+			break
+		}
+	}
+	return key + "\x00" + string(buf[i:])
+}
+
+// GetOrCompute returns the cached value for key if one exists at exactly
+// generation gen; otherwise it computes (collapsing concurrent identical
+// misses) and caches the result under gen. The boolean reports whether
+// the value came from the cache or a collapsed flight rather than this
+// caller's own compute. Errors are never cached.
+//
+// Freshness contract: callers MUST load gen from the backing
+// collection's generation counter *before* reading any data in compute.
+// Writes bump the counter after the mutation is applied, so an entry
+// stored under gen can only ever be as stale as a read that started
+// before the write acknowledged — never staler.
+func (c *Cache) GetOrCompute(key string, gen uint64, compute func() (any, error)) (any, bool, error) {
+	if c == nil {
+		v, err := compute()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.gen == gen {
+			c.ll.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			c.reg.Counter("rcache.hits").Inc()
+			c.updateRatio()
+			return e.val, true, nil
+		}
+		// A write moved the generation: the entry can never validate
+		// again, so reclaim its slot now instead of waiting for LRU
+		// pressure.
+		c.removeLocked(e)
+		c.invalidations.Add(1)
+		c.reg.Counter("rcache.invalidations").Inc()
+	}
+	fk := flightKey(key, gen)
+	if f, ok := c.flights[fk]; ok {
+		c.mu.Unlock()
+		f.wg.Wait()
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.collapsed.Add(1)
+		c.reg.Counter("rcache.collapsed").Inc()
+		return f.val, true, nil
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.flights[fk] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	c.reg.Counter("rcache.misses").Inc()
+	c.updateRatio()
+
+	v, err := compute()
+	f.val, f.err = v, err
+	f.wg.Done()
+
+	c.mu.Lock()
+	delete(c.flights, fk)
+	if err == nil {
+		c.storeLocked(key, gen, v)
+	}
+	c.mu.Unlock()
+	return v, false, err
+}
+
+// Lookup reports the cached value for key at generation gen without
+// computing on a miss. Mostly for tests and bypass probes.
+func (c *Cache) Lookup(key string, gen uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.gen != gen {
+		return nil, false
+	}
+	c.ll.MoveToFront(e.elem)
+	return e.val, true
+}
+
+// storeLocked installs (or refreshes) an entry, evicting from the LRU
+// tail when the cache is full. Caller holds c.mu. Generations per key
+// are monotonic at their source, so an existing entry with a newer
+// generation wins over a slow flight finishing late with an older one.
+func (c *Cache) storeLocked(key string, gen uint64, val any) {
+	if e, ok := c.entries[key]; ok {
+		if e.gen > gen {
+			return
+		}
+		e.gen, e.val = gen, val
+		c.ll.MoveToFront(e.elem)
+		return
+	}
+	for len(c.entries) >= c.max {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail.Value.(*entry))
+		c.evictions.Add(1)
+		c.reg.Counter("rcache.evictions").Inc()
+	}
+	e := &entry{key: key, gen: gen, val: val}
+	e.elem = c.ll.PushFront(e)
+	c.entries[key] = e
+	c.reg.Gauge("rcache.entries").Set(int64(len(c.entries)))
+}
+
+// removeLocked unlinks an entry. Caller holds c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.ll.Remove(e.elem)
+	c.reg.Gauge("rcache.entries").Set(int64(len(c.entries)))
+}
+
+// updateRatio refreshes the hit-ratio gauge (percent of lookups served
+// from cache, collapsed flights excluded).
+func (c *Cache) updateRatio() {
+	if c.reg == nil {
+		return
+	}
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return
+	}
+	c.reg.Gauge("rcache.hit_ratio_pct").Set(int64(h * 100 / (h + m)))
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses, Collapsed, Evictions, Invalidations uint64
+	Entries                                           int
+}
+
+// Stats reports lifetime counters and the live entry count.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Collapsed:     c.collapsed.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       n,
+	}
+}

@@ -1,0 +1,193 @@
+package rcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"matproj/internal/obs"
+)
+
+func TestHitMissAndGenerationInvalidation(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(8, reg)
+	key := KeyFor("materials", "find", `{"f":{"a":1}}`)
+
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+
+	v, hit, err := c.GetOrCompute(key, 1, compute)
+	if err != nil || hit || v.(int) != 1 {
+		t.Fatalf("first call = (%v, %v, %v), want miss computing 1", v, hit, err)
+	}
+	v, hit, _ = c.GetOrCompute(key, 1, compute)
+	if !hit || v.(int) != 1 {
+		t.Fatalf("second call = (%v, hit=%v), want cached 1", v, hit)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+
+	// A new generation invalidates: recompute, and the stale entry is
+	// dropped (counted as an invalidation).
+	v, hit, _ = c.GetOrCompute(key, 2, compute)
+	if hit || v.(int) != 2 {
+		t.Fatalf("post-write call = (%v, hit=%v), want recompute", v, hit)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 1 invalidation", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["rcache.hits"] != 1 || snap.Counters["rcache.misses"] != 2 {
+		t.Fatalf("registry counters = %v", snap.Counters)
+	}
+	if snap.Gauges["rcache.hit_ratio_pct"] != 33 { // 1 of 3 lookups
+		t.Fatalf("hit ratio gauge = %d, want 33", snap.Gauges["rcache.hit_ratio_pct"])
+	}
+}
+
+func TestOldGenerationDoesNotValidate(t *testing.T) {
+	c := New(8, nil)
+	key := KeyFor("m", "count", "{}")
+	if _, _, err := c.GetOrCompute(key, 5, func() (any, error) { return "new", nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A reader still holding generation 4 must not see the gen-5 entry
+	// as valid (entries validate on exact match only).
+	v, hit, _ := c.GetOrCompute(key, 4, func() (any, error) { return "stale-path", nil })
+	if hit {
+		t.Fatalf("gen-4 lookup hit a gen-5 entry: %v", v)
+	}
+}
+
+func TestLRUEvictionBound(t *testing.T) {
+	c := New(4, nil)
+	for i := 0; i < 10; i++ {
+		k := KeyFor("m", "find", fmt.Sprintf("{%d}", i))
+		if _, _, err := c.GetOrCompute(k, 1, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", st.Evictions)
+	}
+	// Most recent keys survive.
+	if _, ok := c.Lookup(KeyFor("m", "find", "{9}"), 1); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, ok := c.Lookup(KeyFor("m", "find", "{0}"), 1); ok {
+		t.Fatal("oldest entry survived a full cache")
+	}
+}
+
+func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
+	c := New(8, nil)
+	key := KeyFor("m", "find", "{hot}")
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute(key, 7, func() (any, error) {
+				computes.Add(1)
+				<-gate // hold every waiter on this flight
+				return "answer", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[slot] = v
+		}(i)
+	}
+	// Let the leader enter compute, then release.
+	for c.Stats().Misses == 0 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under a %d-caller herd, want 1", got, n)
+	}
+	for i, v := range results {
+		if v != "answer" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	// Every caller but the leader either joined the flight (collapsed)
+	// or arrived after it stored and hit the fresh entry; how the n-1
+	// split between the two depends on goroutine scheduling, but the
+	// sum does not.
+	if st := c.Stats(); st.Collapsed+st.Hits != n-1 {
+		t.Fatalf("collapsed(%d) + hits(%d) = %d, want %d", st.Collapsed, st.Hits, st.Collapsed+st.Hits, n-1)
+	} else if st.Collapsed == 0 {
+		t.Logf("note: no caller overlapped the flight this run (all %d were post-store hits)", st.Hits)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(8, nil)
+	key := KeyFor("m", "find", "{}")
+	boom := errors.New("backend down")
+	if _, _, err := c.GetOrCompute(key, 1, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	v, hit, err := c.GetOrCompute(key, 1, func() (any, error) { return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("after error: (%v, %v, %v), want fresh compute", v, hit, err)
+	}
+}
+
+func TestLateFlightCannotOverwriteNewerEntry(t *testing.T) {
+	c := New(8, nil)
+	key := KeyFor("m", "find", "{}")
+
+	// A slow gen-1 flight is still computing when a gen-2 write lands
+	// and a gen-2 read caches the fresh value. When the slow flight
+	// finally stores, it must not clobber the newer entry.
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.GetOrCompute(key, 1, func() (any, error) {
+			<-release
+			return "old", nil
+		})
+	}()
+	for c.Stats().Misses == 0 {
+	}
+	if _, _, err := c.GetOrCompute(key, 2, func() (any, error) { return "new", nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	<-done
+
+	v, hit, _ := c.GetOrCompute(key, 2, func() (any, error) { return "recomputed", nil })
+	if !hit || v != "new" {
+		t.Fatalf("gen-2 lookup = (%v, hit=%v), want cached \"new\"", v, hit)
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	v, hit, err := c.GetOrCompute("k", 1, func() (any, error) { return 42, nil })
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("nil cache = (%v, %v, %v)", v, hit, err)
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reported state")
+	}
+	if _, ok := c.Lookup("k", 1); ok {
+		t.Fatal("nil cache lookup hit")
+	}
+}

@@ -1,0 +1,138 @@
+package restapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"matproj/internal/document"
+	"matproj/internal/obs"
+	"matproj/internal/queryengine"
+)
+
+// etagFixture is a server with the registry wired into both the API and
+// the store, plus direct engine access so tests can issue writes.
+func etagFixture(t *testing.T) (*httptest.Server, string, *queryengine.Engine, *obs.Registry) {
+	t.Helper()
+	store := newTestStore(t)
+	eng := newTestEngine(store)
+	auth := NewAuth(store)
+	api := NewServer(eng, auth, store)
+	reg := obs.NewRegistry()
+	api.Observe(reg, nil)
+	store.Observe(reg, nil)
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	key, err := auth.Signup("google", "alice@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, key, eng, reg
+}
+
+func condGet(t *testing.T, srv *httptest.Server, key, path, ifNoneMatch string) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest("GET", srv.URL+path, nil)
+	req.Header.Set("X-API-KEY", key)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestETagConditionalGet exercises the generation-derived cache
+// validator end to end: a GET carries an ETag, a conditional re-GET
+// with that tag returns 304 with no body, and any write to the
+// collection changes the tag so the next conditional GET recomputes.
+func TestETagConditionalGet(t *testing.T) {
+	srv, key, eng, reg := etagFixture(t)
+
+	resp := condGet(t, srv, key, "/rest/v1/materials/Fe2O3/vasp", "")
+	tag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || tag == "" {
+		t.Fatalf("status=%d etag=%q, want 200 with an ETag", resp.StatusCode, tag)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	resp = condGet(t, srv, key, "/rest/v1/materials/Fe2O3/vasp", tag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET status=%d, want 304", resp.StatusCode)
+	}
+	if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
+		t.Fatalf("304 carried a body: %q", body)
+	}
+	if got := reg.Snapshot().Counters["http.not_modified"]; got != 1 {
+		t.Fatalf("http.not_modified = %d, want 1", got)
+	}
+
+	// Weak validators compare equal.
+	if resp := condGet(t, srv, key, "/rest/v1/materials/Fe2O3/vasp", "W/"+tag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak conditional GET status=%d, want 304", resp.StatusCode)
+	}
+
+	// A write to the collection moves the generation: the old tag no
+	// longer validates and the response carries a new one.
+	if _, err := eng.Insert("alice@example.com", "materials", document.D{"pretty_formula": "MgO", "band_gap": 7.8}); err != nil {
+		t.Fatal(err)
+	}
+	resp = condGet(t, srv, key, "/rest/v1/materials/Fe2O3/vasp", tag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-write conditional GET status=%d, want 200", resp.StatusCode)
+	}
+	if newTag := resp.Header.Get("ETag"); newTag == tag || newTag == "" {
+		t.Fatalf("post-write ETag = %q, want a fresh tag != %q", newTag, tag)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	// Other GET surfaces carry tags for their own collections.
+	resp = condGet(t, srv, key, "/rest/v1/batteries", "")
+	if got := resp.Header.Get("ETag"); resp.StatusCode != http.StatusOK || got == "" || got == tag {
+		t.Fatalf("batteries: status=%d etag=%q", resp.StatusCode, got)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp = condGet(t, srv, key, "/rest/v1/bandstructure/mat-1", "")
+	if got := resp.Header.Get("ETag"); resp.StatusCode != http.StatusOK || got == "" {
+		t.Fatalf("bandstructure: status=%d etag=%q", resp.StatusCode, got)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+// TestMetricsReflectCountAndDistinct is the regression test for the
+// unprofiled read ops: after an engine Count and Distinct, the live
+// /metrics endpoint must report the per-collection datastore counters —
+// before the fix both ops bypassed the profiler entirely.
+func TestMetricsReflectCountAndDistinct(t *testing.T) {
+	srv, _, eng, _ := etagFixture(t)
+
+	if _, err := eng.Count("alice@example.com", "materials", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Distinct("alice@example.com", "materials", "pretty_formula", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := payload.Counters["datastore.materials.count"]; got != 1 {
+		t.Fatalf("datastore.materials.count = %d, want 1", got)
+	}
+	if got := payload.Counters["datastore.materials.distinct"]; got != 1 {
+		t.Fatalf("datastore.materials.distinct = %d, want 1", got)
+	}
+}

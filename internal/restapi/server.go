@@ -151,6 +151,9 @@ func (s *Server) handleMaterials(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.replyNotModified(w, r, s.MaterialsCollection) {
+		return
+	}
 	docs, err := s.Engine.Find(email, s.MaterialsCollection, filter, nil)
 	if err != nil {
 		s.writeEngineErr(w, err)
@@ -312,6 +315,9 @@ func (s *Server) handleDerived(collection string) http.HandlerFunc {
 			writeErr(w, http.StatusBadRequest, "material id required")
 			return
 		}
+		if s.replyNotModified(w, r, collection) {
+			return
+		}
 		docs, err := s.Engine.Find(email, collection, document.D{"material_id": id}, nil)
 		if err != nil {
 			s.writeEngineErr(w, err)
@@ -334,6 +340,9 @@ func (s *Server) handleBatteries(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.replyNotModified(w, r, "batteries") {
+		return
+	}
 	filter := document.D{}
 	if ion := r.URL.Query().Get("ion"); ion != "" {
 		filter["working_ion"] = ion
@@ -348,6 +357,38 @@ func (s *Server) handleBatteries(w http.ResponseWriter, r *http.Request) {
 		out[i] = map[string]any(d)
 	}
 	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+// etagFor renders a collection's cache validator: its name plus its
+// current write generation. Any acknowledged write to the collection
+// changes the generation (on a cluster, the per-shard sum), so a
+// matching tag proves the client's cached body is still current.
+func (s *Server) etagFor(collection string) string {
+	return fmt.Sprintf("\"%s-g%d\"", collection, s.Engine.Generation(collection))
+}
+
+// replyNotModified stamps the generation-derived ETag on a GET response
+// and short-circuits with 304 Not Modified when the request's
+// If-None-Match still matches. Callers return immediately when it
+// reports true. Weak validators (W/ prefix) compare equal: the body is
+// deterministic for a generation, but that guarantee is all a weak
+// match needs.
+func (s *Server) replyNotModified(w http.ResponseWriter, r *http.Request, collection string) bool {
+	tag := s.etagFor(collection)
+	w.Header().Set("ETag", tag)
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
+		if cand == tag || cand == "*" {
+			s.obsReg.Load().Counter("http.not_modified").Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) writeEngineErr(w http.ResponseWriter, err error) {

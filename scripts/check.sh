@@ -20,9 +20,11 @@ go test -race ./...
 
 # Stress pass: the lock-ordering and lease/failover machinery is where
 # interleaving bugs hide; run those suites twice under the race
-# detector so flaky schedules get a second chance to trip it.
-echo "stress pass (-race -count=2: cluster, fireworks)..."
-go test -race -count=2 ./internal/cluster/ ./internal/fireworks/
+# detector so flaky schedules get a second chance to trip it. rcache and
+# queryengine ride along for the cache freshness invariant (no stale
+# read after an acknowledged write, writers racing readers).
+echo "stress pass (-race -count=2: cluster, fireworks, rcache, queryengine)..."
+go test -race -count=2 ./internal/cluster/ ./internal/fireworks/ ./internal/rcache/ ./internal/queryengine/
 
 FUZZTIME="${FUZZTIME:-5s}"
 echo "fuzz smoke (${FUZZTIME} per target)..."
@@ -43,7 +45,7 @@ N2=$!
 "$TMP/mpserve" -role router -addr 127.0.0.1:19800 -shards 2 -materials 20 \
     -peers http://127.0.0.1:19801,http://127.0.0.1:19802 >"$TMP/r.log" 2>&1 &
 R=$!
-trap 'kill $N1 $N2 $R 2>/dev/null || true; rm -rf "$TMP"' EXIT
+trap 'kill $N1 $N2 $R ${S:-} 2>/dev/null || true; rm -rf "$TMP"' EXIT
 for _ in $(seq 1 30); do
     curl -fsS -o /dev/null http://127.0.0.1:19800/status 2>/dev/null && break
     sleep 1
@@ -58,4 +60,31 @@ curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
 curl -fsS http://127.0.0.1:19800/metrics | grep -q 'cluster_scatter_total' \
     || { echo "check: router metrics missing cluster counters"; exit 1; }
 echo "cluster smoke: routed query + metrics OK"
+
+# Result-cache e2e smoke: a standalone server, the same GET twice (the
+# second must be a cache hit per /metrics), then a conditional GET with
+# the response's ETag (must come back 304 Not Modified).
+echo "cache e2e smoke..."
+"$TMP/mpserve" -addr 127.0.0.1:19810 -materials 20 >"$TMP/s.log" 2>&1 &
+S=$!
+for _ in $(seq 1 30); do
+    curl -fsS -o /dev/null http://127.0.0.1:19810/status 2>/dev/null && break
+    sleep 1
+done
+KEY=$(curl -fsS -X POST 'http://127.0.0.1:19810/auth/signup?provider=google&email=cache@example.com' \
+    | jq -r '.response[0].api_key')
+F=$(curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
+    -d '{"criteria":{},"properties":["pretty_formula"],"limit":1}' \
+    http://127.0.0.1:19810/rest/v1/query | jq -r '.response[0].pretty_formula')
+curl -fsS -H "X-API-KEY: $KEY" -o /dev/null "http://127.0.0.1:19810/rest/v1/materials/$F/vasp"
+ETAG=$(curl -fsS -H "X-API-KEY: $KEY" -o /dev/null -D - "http://127.0.0.1:19810/rest/v1/materials/$F/vasp" \
+    | awk 'tolower($1)=="etag:" {print $2}' | tr -d '\r')
+curl -fsS http://127.0.0.1:19810/metrics \
+    | jq -e '.counters["rcache.hits"] >= 1' >/dev/null \
+    || { echo "check: repeated GET was not a cache hit"; tail "$TMP/s.log"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "X-API-KEY: $KEY" -H "If-None-Match: $ETAG" \
+    "http://127.0.0.1:19810/rest/v1/materials/$F/vasp")
+[ "$CODE" = "304" ] \
+    || { echo "check: conditional GET returned $CODE, want 304"; exit 1; }
+echo "cache smoke: hit + 304 OK"
 echo "check: all green"
