@@ -1,0 +1,295 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matproj/internal/cluster"
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+	"matproj/internal/obs"
+	"matproj/internal/webload"
+)
+
+// The failover experiment is the ISSUE's SLO-gated chaos scenario in
+// process: a 2-shard × 2-member cluster takes a fixed-rate open-loop
+// web workload with bounded-staleness follower reads while one replica
+// is killed outright and later restarted. The background health loop
+// must re-admit it through incremental log catch-up (verified by the
+// cluster.repl_catchup_entries counter), the p99 must hold the budget
+// through the whole run, and no probe read may observe data older than
+// its staleness bound. Results land in BENCH_failover.json; a gate
+// breach is an error (nonzero exit).
+
+// failoverResult is the BENCH_failover.json schema.
+type failoverResult struct {
+	RateQPS        float64 `json:"rate_qps"`
+	DurationSec    float64 `json:"duration_sec"`
+	MaxStaleness   int     `json:"max_staleness"`
+	Sent           int     `json:"sent"`
+	Errors         int     `json:"errors"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	P999Ms         float64 `json:"p999_ms"`
+	SloP99Ms       float64 `json:"slo_p99_ms"`
+	ProbesAcked    int64   `json:"probes_acked"`
+	ProbeReads     int64   `json:"probe_reads"`
+	Violations     int64   `json:"staleness_violations"`
+	Readmissions   uint64  `json:"repl_readmissions"`
+	CatchUpShipped uint64  `json:"repl_catchup_entries"`
+	SnapshotCopies uint64  `json:"repl_snapshot_copies"`
+	FollowerReads  uint64  `json:"follower_reads"`
+	WriteFailures  uint64  `json:"replica_write_failures"`
+	ReadRetries    uint64  `json:"read_retries"`
+}
+
+// benchServer is a shard node on a restartable TCP listener (httptest
+// servers cannot rebind their port after Close, a killed-and-restarted
+// replica must).
+type benchServer struct {
+	addr string
+	node *cluster.Node
+	mu   sync.Mutex
+	srv  *http.Server
+}
+
+func startBenchServer(n *cluster.Node) (*benchServer, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &benchServer{addr: lis.Addr().String(), node: n, srv: &http.Server{Handler: n}}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+func (s *benchServer) url() string { return "http://" + s.addr }
+
+func (s *benchServer) kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.srv.Close()
+}
+
+func (s *benchServer) restart() error {
+	lis, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.srv = &http.Server{Handler: s.node}
+	go s.srv.Serve(lis)
+	s.mu.Unlock()
+	return nil
+}
+
+// failoverCorpus seeds materials-shaped docs and returns the vocabulary
+// the workload generator samples from.
+func failoverCorpus(routed interface {
+	Insert(doc document.D) (string, error)
+}, n int) (formulas, elements []string, err error) {
+	symbols := []string{"Li", "Fe", "O", "P", "Na", "Cl", "Mn", "Co", "Ni", "S"}
+	rng := rand.New(rand.NewSource(2012))
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		f := fmt.Sprintf("X%dO%d", i%9, i%3+1)
+		if !seen[f] {
+			seen[f] = true
+			formulas = append(formulas, f)
+		}
+		els := make([]any, 0, 3)
+		for _, j := range rng.Perm(len(symbols))[:3] {
+			els = append(els, symbols[j])
+		}
+		doc := document.D{
+			"_id":            fmt.Sprintf("mat-%05d", i),
+			"pretty_formula": f,
+			"elements":       els,
+			"band_gap":       rng.Float64() * 5,
+			"e_per_atom":     -rng.Float64() * 10,
+			"nelectrons":     int64(20 + rng.Intn(400)),
+		}
+		if _, err := routed.Insert(doc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return formulas, symbols, nil
+}
+
+func runFailoverBench(out string, rate float64, dur time.Duration, maxStale int, sloP99Ms float64) error {
+	const shards, corpus = 2, 1200
+	reg := obs.NewRegistry()
+	var groups [][]string
+	var servers []*benchServer
+	for gi := 0; gi < shards; gi++ {
+		var urls []string
+		for mi := 0; mi < 2; mi++ {
+			n := cluster.NewNode(fmt.Sprintf("fo-node-%d-%d", gi, mi), datastore.MustOpenMemory(), reg)
+			s, err := startBenchServer(n)
+			if err != nil {
+				return err
+			}
+			defer s.kill()
+			servers = append(servers, s)
+			urls = append(urls, s.url())
+		}
+		groups = append(groups, urls)
+	}
+	r, err := cluster.NewRouter(cluster.RouterOptions{
+		Groups:         groups,
+		Registry:       reg,
+		HealthInterval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	routed := r.C("materials")
+
+	fmt.Printf("seeding %d docs across %d×2 cluster...\n", corpus, shards)
+	formulas, elements, err := failoverCorpus(routed, corpus)
+	if err != nil {
+		return err
+	}
+	gen, err := webload.NewVocabGenerator(2012, formulas, elements)
+	if err != nil {
+		return err
+	}
+
+	// Probe writer: the ground truth for the staleness check. Ack only
+	// after the cluster acknowledged the insert.
+	var probe webload.Probe
+	var probesAcked, probeReads, violations atomic.Int64
+	stopProbes := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(2)
+	go func() {
+		defer probeWG.Done()
+		seq := int64(0)
+		for {
+			select {
+			case <-stopProbes:
+				return
+			case <-time.After(4 * time.Millisecond):
+			}
+			seq++
+			if _, err := routed.Insert(document.D(webload.ProbeDoc(seq))); err != nil {
+				continue // outage blip; the seq is simply never acked
+			}
+			probe.Ack(seq)
+			probesAcked.Store(seq)
+		}
+	}()
+	go func() {
+		defer probeWG.Done()
+		for {
+			select {
+			case <-stopProbes:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			acked := probe.Acked()
+			docs, err := routed.FindAll(webload.ProbeFilter(), webload.ProbeOpts(maxStale))
+			if err != nil {
+				continue
+			}
+			probeReads.Add(1)
+			if webload.ProbeViolation(webload.ObservedSeq(docs), acked, shards, maxStale) {
+				violations.Add(1)
+			}
+		}
+	}()
+
+	// Chaos: kill group 0's replica a third of the way in, bring it
+	// back at two thirds; the health loop must re-admit it via log
+	// catch-up while the load keeps arriving.
+	replica := servers[1] // groups[0][1]
+	go func() {
+		time.Sleep(dur / 3)
+		fmt.Printf("chaos: killing replica %s\n", replica.url())
+		replica.kill()
+		time.Sleep(dur / 3)
+		fmt.Printf("chaos: restarting replica %s\n", replica.url())
+		if err := replica.restart(); err != nil {
+			fmt.Printf("chaos: restart failed: %v\n", err)
+		}
+	}()
+
+	fmt.Printf("open-loop load: %.0f q/s for %v (max_staleness=%d)...\n", rate, dur, maxStale)
+	res, err := gen.RunOpenLoop(func(q webload.Query) (int, error) {
+		if q.Kind == webload.KindCount {
+			return routed.Count(q.Filter)
+		}
+		opts := datastore.FindOpts{MaxStaleness: maxStale}
+		if q.Opts != nil {
+			opts = *q.Opts
+			opts.MaxStaleness = maxStale
+		}
+		docs, err := routed.FindAll(q.Filter, &opts)
+		return len(docs), err
+	}, webload.OpenLoopConfig{Rate: rate, Duration: dur, Reg: reg})
+	if err != nil {
+		return err
+	}
+	close(stopProbes)
+	probeWG.Wait()
+	// One final sweep so a re-admission racing the end of the load
+	// window is not missed.
+	r.CheckNow()
+
+	result := failoverResult{
+		RateQPS:        rate,
+		DurationSec:    dur.Seconds(),
+		MaxStaleness:   maxStale,
+		Sent:           res.Sent,
+		Errors:         res.Errors,
+		P50Ms:          float64(webload.LatencyQuantile(res.Samples, 0.50)) / 1e6,
+		P99Ms:          float64(webload.LatencyQuantile(res.Samples, 0.99)) / 1e6,
+		P999Ms:         float64(webload.LatencyQuantile(res.Samples, 0.999)) / 1e6,
+		SloP99Ms:       sloP99Ms,
+		ProbesAcked:    probesAcked.Load(),
+		ProbeReads:     probeReads.Load(),
+		Violations:     violations.Load(),
+		Readmissions:   reg.Counter("cluster.repl_readmissions").Value(),
+		CatchUpShipped: reg.Counter("cluster.repl_catchup_entries").Value(),
+		SnapshotCopies: reg.Counter("cluster.repl_snapshot_copies").Value(),
+		FollowerReads:  reg.Counter("cluster.follower_reads_total").Value(),
+		WriteFailures:  reg.Counter("cluster.replica_write_failures").Value(),
+		ReadRetries:    reg.Counter("cluster.read_retries_total").Value(),
+	}
+	if err := writeJSON(out, result); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n  sent=%d errors=%d  p50=%.2fms p99=%.2fms p999=%.2fms\n",
+		result.Sent, result.Errors, result.P50Ms, result.P99Ms, result.P999Ms)
+	fmt.Printf("  probes acked=%d reads=%d violations=%d\n",
+		result.ProbesAcked, result.ProbeReads, result.Violations)
+	fmt.Printf("  readmissions=%d catchup_entries=%d snapshot_copies=%d follower_reads=%d\n",
+		result.Readmissions, result.CatchUpShipped, result.SnapshotCopies, result.FollowerReads)
+	if snap, ok := reg.Snapshot().Histograms["webload.query_ms"]; ok {
+		fmt.Printf("\nlive latency histogram (Fig. 5 buckets):\n%s\n", snap.Render("ms", 40))
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	// The gates. Every one of these is an acceptance criterion, not a
+	// soft warning.
+	if result.P99Ms > sloP99Ms {
+		return fmt.Errorf("failover: p99 %.2f ms exceeds SLO budget %.2f ms", result.P99Ms, sloP99Ms)
+	}
+	if result.Violations > 0 {
+		return fmt.Errorf("failover: %d probe reads observed data older than the staleness bound", result.Violations)
+	}
+	if result.Readmissions == 0 {
+		return fmt.Errorf("failover: the killed replica was never re-admitted")
+	}
+	if result.CatchUpShipped == 0 {
+		return fmt.Errorf("failover: re-admission shipped no log entries (full copy instead of catch-up?)")
+	}
+	return nil
+}

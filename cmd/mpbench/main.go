@@ -20,12 +20,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|failover|webload|all)")
 	scaleName := flag.String("scale", "full", "experiment scale (small|full)")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "bench mode: timed-loop results file")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "bench mode: metrics registry snapshot file")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "cluster mode: standalone-vs-routed results file")
 	cacheOut := flag.String("cache-out", "BENCH_cache.json", "cache mode: result-cache hot/miss results file")
+	failoverOut := flag.String("failover-out", "BENCH_failover.json", "failover mode: SLO-gated chaos results file")
+	webloadOut := flag.String("webload-out", "BENCH_webload.json", "webload mode: open-loop HTTP load results file")
+	rate := flag.Float64("rate", 150, "open-loop arrival rate in queries/sec (failover, webload)")
+	loadDur := flag.Duration("load-duration", 4*time.Second, "open-loop load window (failover, webload)")
+	maxStale := flag.Int("max-staleness", 4, "staleness budget in generations for follower reads (failover, webload)")
+	sloP99 := flag.Float64("slo-p99-ms", 250, "p99 latency budget; exceeding it fails the run (failover, webload)")
+	urlFlag := flag.String("url", "", "webload mode: base URL of a running mpserve deployment")
+	apiKey := flag.String("api-key", "", "webload mode: API key (empty = self-signup)")
+	probeGroups := flag.Int("probe-groups", 2, "webload mode: target's shard group count (staleness slack)")
 	flag.Parse()
 
 	sc := experiments.Full
@@ -129,6 +138,18 @@ func main() {
 		// overhead into BENCH_cache.json.
 		"cache": func() error {
 			return runCacheBench(sc, *cacheOut)
+		},
+		// failover is the in-process SLO-gated chaos run: open-loop load
+		// over a 2×2 cluster while a replica is killed and re-admitted
+		// via log catch-up. Writes BENCH_failover.json; fails on a p99
+		// or staleness-bound breach.
+		"failover": func() error {
+			return runFailoverBench(*failoverOut, *rate, *loadDur, *maxStale, *sloP99)
+		},
+		// webload drives a running mpserve deployment (-url) with the
+		// same open-loop mix over HTTP, gating on p99 and staleness.
+		"webload": func() error {
+			return runWebloadBench(*webloadOut, *urlFlag, *apiKey, *rate, *loadDur, *maxStale, *probeGroups, *sloP99)
 		},
 	}
 

@@ -140,6 +140,7 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 		Registry:       reg,
 		HealthInterval: healthEvery,
 		Cache:          rc,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatalf("mpserve: router: %v", err)

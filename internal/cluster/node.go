@@ -10,10 +10,13 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -68,6 +71,9 @@ type Node struct {
 // become no-ops).
 func NewNode(id string, store *datastore.Store, reg *obs.Registry) *Node {
 	n := &Node{id: id, store: store, reg: reg, mux: http.NewServeMux()}
+	// Every node is a replication-log peer: memory-backed stores get the
+	// bounded entry ring (durable stores already log via their journal).
+	store.EnableReplication(0)
 	post := func(path string, h func(w http.ResponseWriter, r *http.Request) error) {
 		n.mux.HandleFunc("POST "+wire.Version+path, func(w http.ResponseWriter, r *http.Request) {
 			n.serve(path, w, r, h)
@@ -83,6 +89,9 @@ func NewNode(id string, store *datastore.Store, reg *obs.Registry) *Node {
 	post(wire.PathDistinct, n.handleDistinct)
 	post(wire.PathMapReduce, n.handleMapReduce)
 	post(wire.PathEnsureIndex, n.handleEnsureIndex)
+	post(wire.PathReplPull, n.handleReplPull)
+	post(wire.PathReplApply, n.handleReplApply)
+	post(wire.PathReplSnapshot, n.handleReplSnapshot)
 	n.mux.HandleFunc("GET "+wire.Version+wire.PathHealth, n.handleHealth)
 	return n
 }
@@ -152,7 +161,7 @@ func (n *Node) handleInsert(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return fmt.Errorf("cluster: insert %s: %w", req.Collection, err)
 	}
-	return writeJSON(w, wire.InsertResponse{ID: id})
+	return writeJSON(w, wire.InsertResponse{ID: id, Gen: n.store.ReplGen()})
 }
 
 func (n *Node) handleFind(w http.ResponseWriter, r *http.Request) error {
@@ -207,7 +216,7 @@ func (n *Node) handleUpdate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return fmt.Errorf("cluster: update %s: %w", req.Collection, err)
 	}
-	return writeJSON(w, wire.UpdateResponse{Matched: res.Matched, Modified: res.Modified})
+	return writeJSON(w, wire.UpdateResponse{Matched: res.Matched, Modified: res.Modified, Gen: n.store.ReplGen()})
 }
 
 func (n *Node) handleRemove(w http.ResponseWriter, r *http.Request) error {
@@ -219,7 +228,7 @@ func (n *Node) handleRemove(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return fmt.Errorf("cluster: remove %s: %w", req.Collection, err)
 	}
-	return writeJSON(w, wire.CountResponse{N: c})
+	return writeJSON(w, wire.CountResponse{N: c, Gen: n.store.ReplGen()})
 }
 
 func (n *Node) handleAggregate(w http.ResponseWriter, r *http.Request) error {
@@ -282,5 +291,110 @@ func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 		NodeID:      n.id,
 		Collections: len(n.store.Collections()),
 		Documents:   docs,
+		AppliedGen:  n.store.ReplGen(),
 	})
+}
+
+// readLogLines splits a repl line stream (newline-joined framed journal
+// lines) into its lines, dropping empties.
+func readLogLines(r io.Reader) ([][]byte, error) {
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read log stream: %w", err)
+	}
+	var lines [][]byte
+	for _, ln := range bytes.Split(body, []byte("\n")) {
+		if len(ln) > 0 {
+			lines = append(lines, ln)
+		}
+	}
+	return lines, nil
+}
+
+// writeLogLines streams framed lines with the node's head generation in
+// the response header.
+func writeLogLines(w http.ResponseWriter, lines [][]byte, head uint64) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set(wire.HeaderReplHead, strconv.FormatUint(head, 10))
+	for _, ln := range lines {
+		if _, err := w.Write(ln); err != nil {
+			return fmt.Errorf("cluster: write log stream: %w", err)
+		}
+		if _, err := w.Write([]byte("\n")); err != nil {
+			return fmt.Errorf("cluster: write log stream: %w", err)
+		}
+	}
+	return nil
+}
+
+// handleReplPull serves journal entries past the requested generation.
+// A generation that has rotated out of the log answers 410 Gone; the
+// puller falls back to snapshot + reset.
+func (n *Node) handleReplPull(w http.ResponseWriter, r *http.Request) error {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		return badRequest("cluster: repl pull: bad from: %v", err)
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		if limit, err = strconv.Atoi(ls); err != nil {
+			return badRequest("cluster: repl pull: bad limit: %v", err)
+		}
+	}
+	lines, head, err := n.store.ReplTail(from, limit)
+	if errors.Is(err, datastore.ErrReplGap) {
+		n.reg.Counter("node_repl_gap_total").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(wire.HeaderReplHead, strconv.FormatUint(head, 10))
+		w.WriteHeader(http.StatusGone)
+		json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error()})
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: repl pull: %w", err)
+	}
+	n.reg.Counter("node_repl_pulls_total").Inc()
+	n.reg.Counter("node_repl_entries_served_total").Add(uint64(len(lines)))
+	return writeLogLines(w, lines, head)
+}
+
+// handleReplApply ingests a batch of shipped log lines. With ?reset=1 the
+// batch is a full snapshot replacing all local state, fast-forwarded to
+// ?upto=<gen>; otherwise entries append through the normal apply path.
+func (n *Node) handleReplApply(w http.ResponseWriter, r *http.Request) error {
+	lines, err := readLogLines(r.Body)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	if r.URL.Query().Get("reset") == "1" {
+		upto, perr := strconv.ParseUint(r.URL.Query().Get("upto"), 10, 64)
+		if perr != nil {
+			return badRequest("cluster: repl apply: bad upto: %v", perr)
+		}
+		if rerr := n.store.ReplReset(lines, upto); rerr != nil {
+			return fmt.Errorf("cluster: repl reset: %w", rerr)
+		}
+		n.reg.Counter("node_repl_resets_total").Inc()
+		return writeJSON(w, wire.ReplApplyResponse{Applied: len(lines), Gen: upto})
+	}
+	applied, gen, torn, err := n.store.ApplyReplEntries(lines)
+	if err != nil {
+		return fmt.Errorf("cluster: repl apply: %w", err)
+	}
+	n.reg.Counter("node_repl_entries_applied_total").Add(uint64(applied))
+	if torn {
+		n.reg.Counter("node_repl_torn_batches_total").Inc()
+	}
+	return writeJSON(w, wire.ReplApplyResponse{Applied: applied, Gen: gen, Torn: torn})
+}
+
+// handleReplSnapshot streams the node's full state as framed insert
+// lines (the rotation fallback for pulls answered 410).
+func (n *Node) handleReplSnapshot(w http.ResponseWriter, r *http.Request) error {
+	lines, head, err := n.store.ReplSnapshotEntries()
+	if err != nil {
+		return fmt.Errorf("cluster: repl snapshot: %w", err)
+	}
+	n.reg.Counter("node_repl_snapshots_served_total").Inc()
+	return writeLogLines(w, lines, head)
 }

@@ -3,14 +3,18 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"matproj/internal/cluster/replog"
 	"matproj/internal/cluster/wire"
 	"matproj/internal/datastore"
 	"matproj/internal/document"
@@ -61,12 +65,51 @@ type RouterOptions struct {
 	// (nil = the wall clock). Tests inject a vclock.Fake to drive both
 	// deterministically.
 	Clock vclock.Clock
+	// Tracer receives slow-op observations (partial replication detail
+	// lands here). Nil = no-op.
+	Tracer *obs.Tracer
+	// ReadRetries is how many extra rounds a read attempts after
+	// exhausting a group's healthy members to a transient transport
+	// error; each round re-probes the group first so dropped-packet
+	// blips self-heal without waiting for the health loop. Negative
+	// disables retries; 0 selects the default (2).
+	ReadRetries int
+	// RetryBackoff is the base delay between read retry rounds (doubled
+	// per round, jittered; 0 selects 10ms). Sleeps go through Clock.
+	RetryBackoff time.Duration
+	// Seed drives the retry jitter (0 selects 1). Deterministic given
+	// the same seed and schedule.
+	Seed int64
+	// CatchUpBatch caps log entries per catch-up pull round (0 selects
+	// replog.DefaultBatch).
+	CatchUpBatch int
 }
+
+// defaultReadRetries and defaultRetryBackoff pace the read retry path.
+const (
+	defaultReadRetries  = 2
+	defaultRetryBackoff = 10 * time.Millisecond
+)
 
 // member is one node endpoint as the router sees it.
 type member struct {
 	url     string
 	healthy bool
+	// applied is the member's last known replication generation, fed by
+	// heartbeat piggyback and write acks. Monotonic (CAS-max): acks can
+	// race, and a freshly restarted node re-reports via its probe.
+	applied atomic.Uint64
+}
+
+// noteGen advances the member's known applied generation (never
+// backwards — concurrent acks land out of order).
+func (m *member) noteGen(gen uint64) {
+	for {
+		cur := m.applied.Load()
+		if gen <= cur || m.applied.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
 }
 
 // rgroup is one shard group: an ordered member list whose head is the
@@ -85,9 +128,27 @@ type Router struct {
 	groups   []*rgroup
 	client   *http.Client
 	reg      *obs.Registry
+	tracer   *obs.Tracer
 	clock    vclock.Clock
 	rc       *rcache.Cache
 	gens     shardGens
+
+	// repl drives log catch-up for re-admitted members. It talks to
+	// nodes with the plain HTTP client, not r.call: catch-up is control
+	// plane, so injected transport faults (and their counters) stay a
+	// request-plane concern.
+	repl *replog.Client
+
+	retries int
+	backoff time.Duration
+
+	// rng jitters retry backoff; seeded for determinism, mutex-guarded
+	// (rand.Rand is not concurrency-safe).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// rr rotates bounded-staleness reads across eligible followers.
+	rr atomic.Uint64
 
 	faultsMu sync.RWMutex
 	faults   TransportFaults
@@ -105,9 +166,12 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		shardKey: opts.ShardKey,
 		client:   opts.Client,
 		reg:      opts.Registry,
+		tracer:   opts.Tracer,
 		clock:    opts.Clock,
 		rc:       opts.Cache,
 		gens:     shardGens{m: make(map[string][]*atomic.Uint64), n: len(opts.Groups)},
+		retries:  opts.ReadRetries,
+		backoff:  opts.RetryBackoff,
 		stopCh:   make(chan struct{}),
 	}
 	if r.shardKey == "" {
@@ -119,6 +183,20 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 5 * time.Second}
 	}
+	if r.retries == 0 {
+		r.retries = defaultReadRetries
+	} else if r.retries < 0 {
+		r.retries = 0
+	}
+	if r.backoff <= 0 {
+		r.backoff = defaultRetryBackoff
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r.rng = rand.New(rand.NewSource(seed))
+	r.repl = &replog.Client{HTTP: r.client, Batch: opts.CatchUpBatch}
 	for gi, urls := range opts.Groups {
 		if len(urls) == 0 {
 			return nil, fmt.Errorf("cluster: shard group %d has no members", gi)
@@ -290,21 +368,66 @@ func (r *Router) promoteLocked(g *rgroup) bool {
 }
 
 // readOnGroup runs one read call against a group, failing over through
-// its healthy members: the primary first, then replicas. Member
-// failures mark the member down (promoting a replica); remote op errors
-// return immediately.
+// its healthy members and retrying transient transport exhaustion with
+// jittered backoff. Primary-only routing (no staleness bound).
 func (r *Router) readOnGroup(gi int, path string, req, out any) error {
+	return r.readOnGroupStale(gi, path, req, out, 0)
+}
+
+// readOnGroupStale is readOnGroup with an optional staleness bound:
+// maxStale > 0 permits the read to be served by a healthy follower
+// whose known applied generation lags the group's known head by at most
+// maxStale generations (rotating across eligible followers, primary as
+// fallback). Reads are idempotent, so after exhausting a group's
+// healthy members to transport failures the router sleeps a jittered,
+// doubling backoff, re-probes the group (transient blips self-heal
+// without waiting for the health loop), and tries again — up to
+// ReadRetries extra rounds. Remote op errors never retry.
+func (r *Router) readOnGroupStale(gi int, path string, req, out any, maxStale int) error {
+	var lastErr error
+	for round := 0; ; round++ {
+		err := r.readRound(gi, path, req, out, maxStale)
+		if err == nil || !errors.Is(err, queryengine.ErrUnavailable) {
+			return err
+		}
+		lastErr = err
+		if round >= r.retries {
+			break
+		}
+		r.reg.Counter("cluster.read_retries_total").Inc()
+		r.clock.Sleep(r.jitter(r.backoff << round))
+		r.checkGroupNow(gi)
+	}
+	return lastErr
+}
+
+// jitter returns a duration in [d/2, d] (seeded rng, mutex-guarded).
+func (r *Router) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	half := int64(d / 2)
+	return time.Duration(half + r.rng.Int63n(half+1))
+}
+
+// readRound makes one pass over a group's candidate members.
+func (r *Router) readRound(gi int, path string, req, out any, maxStale int) error {
 	g := r.groups[gi]
 	g.mu.RLock()
 	attempts := len(g.members) + 1
 	g.mu.RUnlock()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		members := r.groups[gi].healthyMembers()
-		if len(members) == 0 {
+		candidates := r.readCandidates(gi, maxStale)
+		if len(candidates) == 0 {
 			break
 		}
-		m := members[0]
+		m := candidates[0]
+		if maxStale > 0 && m != r.primaryMember(gi) {
+			r.reg.Counter("cluster.follower_reads_total").Inc()
+		}
 		start := time.Now()
 		err := r.call(m, path, req, out)
 		r.reg.LatencyHistogram(fmt.Sprintf("cluster_shard%d_ms", gi)).ObserveDuration(time.Since(start))
@@ -321,6 +444,55 @@ func (r *Router) readOnGroup(gi int, path string, req, out any) error {
 		lastErr = fmt.Errorf("cluster: shard %d has no healthy members", gi)
 	}
 	return fmt.Errorf("%w: shard %d: %v", queryengine.ErrUnavailable, gi, lastErr)
+}
+
+// readCandidates orders a group's healthy members for one read attempt.
+// With no staleness budget that is simply primary-first (legacy
+// behavior, byte-for-byte). With a budget, eligible followers — known
+// lag ≤ maxStale generations behind the group's known head — come
+// first in rotation, then the primary; followers over budget are never
+// candidates. Known generations are fed by write acks and heartbeats,
+// so a member's known gen is a lower bound on its actual gen: any
+// write acknowledged through this router raised some member's known
+// gen, hence known head ≥ every acked generation, and a follower whose
+// known lag is ≤ K is really ≤ K generations behind the acked state.
+func (r *Router) readCandidates(gi int, maxStale int) []*member {
+	members := r.groups[gi].healthyMembers()
+	if maxStale <= 0 || len(members) <= 1 {
+		return members
+	}
+	var head uint64
+	for _, m := range members {
+		if a := m.applied.Load(); a > head {
+			head = a
+		}
+	}
+	var eligible []*member
+	for _, m := range members[1:] {
+		if head-m.applied.Load() <= uint64(maxStale) {
+			eligible = append(eligible, m)
+		}
+	}
+	if len(eligible) == 0 {
+		return members[:1]
+	}
+	k := int(r.rr.Add(1)) % len(eligible)
+	out := make([]*member, 0, len(eligible)+1)
+	out = append(out, eligible[k:]...)
+	out = append(out, eligible[:k]...)
+	out = append(out, members[0])
+	return out
+}
+
+// primaryMember snapshots a group's current head.
+func (r *Router) primaryMember(gi int) *member {
+	g := r.groups[gi]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.members) == 0 {
+		return nil
+	}
+	return g.members[0]
 }
 
 // scatter fans a read out to the target groups concurrently and collects
@@ -472,6 +644,7 @@ func (r *Router) Insert(collection string, doc document.D) (string, error) {
 		if err := r.call(m, wire.PathInsert, wire.InsertRequest{Collection: collection, Doc: map[string]any(d)}, &resp); err != nil {
 			return err
 		}
+		m.noteGen(resp.Gen)
 		if id == "" {
 			id = resp.ID
 		}
@@ -491,13 +664,18 @@ func (r *Router) Insert(collection string, doc document.D) (string, error) {
 // members sequentially (synchronous replication). It succeeds when at
 // least one member accepted the write; members that fail are marked
 // down, promoting as needed. Remote op errors (e.g. a duplicate id)
-// abort the write.
+// abort the write. Partial replication — some member accepted, some
+// lagged — is not silent: it bumps cluster.replica_write_failures and
+// names the lagging members in the slow-op trace, since those members
+// now need log catch-up before they can serve bounded-staleness reads.
 func (r *Router) writeOnGroup(gi int, do func(m *member) error) error {
 	members := r.groups[gi].healthyMembers()
 	if len(members) == 0 {
 		return fmt.Errorf("%w: shard %d has no healthy members", queryengine.ErrUnavailable, gi)
 	}
+	groupStart := time.Now()
 	accepted := 0
+	var lagging []string
 	var lastErr error
 	for _, m := range members {
 		start := time.Now()
@@ -511,10 +689,17 @@ func (r *Router) writeOnGroup(gi int, do func(m *member) error) error {
 			return err
 		}
 		lastErr = err
+		lagging = append(lagging, m.url)
 		r.markUnhealthy(gi, m)
 	}
 	if accepted == 0 {
 		return fmt.Errorf("%w: shard %d write failed on all members: %v", queryengine.ErrUnavailable, gi, lastErr)
+	}
+	if len(lagging) > 0 {
+		r.reg.Counter("cluster.replica_write_failures").Add(uint64(len(lagging)))
+		dur := time.Since(groupStart)
+		detail := strings.Join(lagging, ",")
+		r.tracer.Observe("cluster.replica_write", fmt.Sprintf("shard=%d accepted=%d lagging=%s", gi, accepted, detail), dur)
 	}
 	return nil
 }
@@ -545,6 +730,7 @@ func (r *Router) Remove(collection string, filter document.D) (int, error) {
 			if err := r.call(m, wire.PathRemove, wire.RemoveRequest{Collection: collection, Filter: wireMap(filter)}, &resp); err != nil {
 				return err
 			}
+			m.noteGen(resp.Gen)
 			mu.Lock()
 			if first {
 				total += resp.N
@@ -575,6 +761,7 @@ func (r *Router) updateMany(collection string, filter, update document.D) (datas
 			if err := r.call(m, wire.PathUpdate, req, &resp); err != nil {
 				return err
 			}
+			m.noteGen(resp.Gen)
 			mu.Lock()
 			if first {
 				res.Matched += resp.Matched
@@ -632,12 +819,19 @@ func (r *Router) findAllCached(collection string, filter document.D, opts *datas
 	if len(targets) == 1 {
 		perShard = opts
 	}
+	// The staleness budget rides FindOpts (and therefore the wire form,
+	// so it lands in the per-shard cache key: a follower-served result
+	// can never satisfy a later exact read).
+	maxStale := 0
+	if opts != nil {
+		maxStale = opts.MaxStaleness
+	}
 	results := make([][]document.D, len(targets))
 	err = r.scatter(targets, func(gi int) error {
 		req := wire.FindRequest{Collection: collection, Filter: wireMap(filter), Opts: wire.FromFindOpts(perShard)}
 		v, err := r.groupRead(cached, collection, gi, "find", req, func() (any, error) {
 			var resp wire.DocsResponse
-			if err := r.readOnGroup(gi, wire.PathFind, req, &resp); err != nil {
+			if err := r.readOnGroupStale(gi, wire.PathFind, req, &resp, maxStale); err != nil {
 				return nil, err
 			}
 			return resp.NormalizedDocs(), nil
@@ -886,53 +1080,153 @@ func (r *Router) healthLoop(interval time.Duration) {
 
 // CheckNow probes every member's health endpoint once, marking members
 // up or down and promoting replicas where a primary is down. It returns
-// the number of healthy members. Down members that answer again are
-// restored (rejoining as replicas — promotion already moved a healthy
-// member to the head).
+// the number of healthy members.
+//
+// Re-admission goes through the replication log: a down member that
+// answers its probe again is first caught up — the router ships it the
+// entries past its last applied generation from the group's current
+// head (falling back to a snapshot copy only when the log has rotated
+// past it) — and only then marked healthy. A member whose catch-up
+// fails stays down and is retried on the next sweep. Healthy members
+// whose known generation lags the group head are also topped up
+// (anti-entropy), closing the window partial write fan-outs open.
 func (r *Router) CheckNow() int {
 	r.reg.Counter("cluster_health_checks_total").Inc()
 	healthy := 0
-	for _, g := range r.groups {
-		g.mu.RLock()
-		members := append([]*member{}, g.members...)
-		g.mu.RUnlock()
-		for _, m := range members {
-			ok := r.probe(m)
-			g.mu.Lock()
-			if ok {
-				if !m.healthy {
-					m.healthy = true
-					r.reg.Counter("cluster_member_recovered_total").Inc()
-				}
-				healthy++
-			} else if m.healthy {
-				m.healthy = false
-				r.reg.Counter("cluster_member_down_total").Inc()
-			}
-			r.promoteLocked(g)
-			g.mu.Unlock()
-		}
+	for gi := range r.groups {
+		healthy += r.checkGroupNow(gi)
 	}
 	r.reg.Gauge("cluster_members_healthy").Set(int64(healthy))
 	return healthy
 }
 
-// probe checks one member's health endpoint.
-func (r *Router) probe(m *member) bool {
+// checkGroupNow probes one group, re-admitting recovered members via
+// log catch-up. Returns the group's healthy member count.
+func (r *Router) checkGroupNow(gi int) int {
+	g := r.groups[gi]
+	g.mu.RLock()
+	members := append([]*member{}, g.members...)
+	g.mu.RUnlock()
+	healthy := 0
+	for _, m := range members {
+		ok, gen := r.probe(m)
+		g.mu.RLock()
+		wasHealthy := m.healthy
+		g.mu.RUnlock()
+		if ok && !wasHealthy {
+			// Probed gen, not the router's remembered one: a restarted
+			// node may have come back at a lower generation than its
+			// last ack.
+			if !r.catchUp(gi, m, gen) {
+				ok = false
+			}
+		} else if ok && gen > 0 {
+			m.noteGen(gen)
+		}
+		g.mu.Lock()
+		if ok {
+			if !m.healthy {
+				m.healthy = true
+				r.reg.Counter("cluster_member_recovered_total").Inc()
+			}
+			healthy++
+		} else if m.healthy {
+			m.healthy = false
+			r.reg.Counter("cluster_member_down_total").Inc()
+		}
+		r.promoteLocked(g)
+		g.mu.Unlock()
+	}
+	r.antiEntropy(gi)
+	return healthy
+}
+
+// catchUp ships a recovering member the log entries past its applied
+// generation from the group's current healthy head. True means the
+// member is safe to re-admit (including the no-source case: a group
+// with no other healthy member has nothing newer to ship).
+func (r *Router) catchUp(gi int, m *member, from uint64) bool {
+	src := r.catchUpSource(gi, m)
+	if src == nil {
+		return true
+	}
+	res, err := r.repl.CatchUp(src.url, m.url, from)
+	if err != nil {
+		r.reg.Counter("cluster.repl_catchup_failures").Inc()
+		return false
+	}
+	r.reg.Counter("cluster.repl_readmissions").Inc()
+	r.reg.Counter("cluster.repl_catchup_entries").Add(uint64(res.Shipped))
+	if res.Snapshot {
+		r.reg.Counter("cluster.repl_snapshot_copies").Inc()
+	}
+	m.noteGen(res.Head)
+	return true
+}
+
+// catchUpSource picks the member to ship log entries from: the group's
+// current head, or the first healthy member that is not the target.
+func (r *Router) catchUpSource(gi int, dst *member) *member {
+	g := r.groups[gi]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, m := range g.members {
+		if m.healthy && m != dst {
+			return m
+		}
+	}
+	return nil
+}
+
+// antiEntropy tops up healthy members whose known applied generation
+// lags the group's known head — the residue of partial write fan-outs
+// (the member was briefly unreachable, the write succeeded elsewhere).
+func (r *Router) antiEntropy(gi int) {
+	members := r.groups[gi].healthyMembers()
+	if len(members) <= 1 {
+		return
+	}
+	var head uint64
+	var src *member
+	for _, m := range members {
+		if a := m.applied.Load(); a > head || src == nil {
+			head = m.applied.Load()
+			src = m
+		}
+	}
+	for _, m := range members {
+		if m == src {
+			continue
+		}
+		if a := m.applied.Load(); a < head {
+			res, err := r.repl.CatchUp(src.url, m.url, a)
+			if err != nil {
+				r.reg.Counter("cluster.repl_catchup_failures").Inc()
+				continue
+			}
+			r.reg.Counter("cluster.repl_catchup_entries").Add(uint64(res.Shipped))
+			m.noteGen(res.Head)
+		}
+	}
+}
+
+// probe checks one member's health endpoint, reporting its applied
+// replication generation when healthy.
+func (r *Router) probe(m *member) (bool, uint64) {
 	if f := r.transportFaults(); f != nil && f.DropCall() {
 		r.reg.Counter("cluster_calls_dropped_total").Inc()
-		return false
+		return false, 0
 	}
 	resp, err := r.client.Get(m.url + wire.Version + wire.PathHealth)
 	if err != nil {
-		return false
+		return false, 0
 	}
 	defer resp.Body.Close()
 	var h wire.HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return false
+		return false, 0
 	}
-	return h.OK
+	return h.OK, h.AppliedGen
 }
 
 // Healthy reports the per-group healthy member counts (tests and status

@@ -37,7 +37,21 @@ const (
 	PathMapReduce   = "/mapreduce"
 	PathEnsureIndex = "/ensureindex"
 	PathHealth      = "/health"
+
+	// Replication-log endpoints. Pull and Snapshot stream framed journal
+	// lines (text/plain, one "%08x <json>" line per record) with the
+	// serving node's head generation in HeaderReplHead; Apply accepts the
+	// same line stream and reports what was applied. A pull whose `from`
+	// generation has rotated out of the log answers 410 Gone — the caller
+	// falls back to Snapshot + Apply?reset=1.
+	PathReplPull     = "/repl/pull"
+	PathReplApply    = "/repl/apply"
+	PathReplSnapshot = "/repl/snapshot"
 )
+
+// HeaderReplHead carries the serving node's current replication head
+// generation on pull/snapshot responses.
+const HeaderReplHead = "X-Repl-Head"
 
 // FindOpts is the wire form of datastore.FindOpts.
 type FindOpts struct {
@@ -45,6 +59,9 @@ type FindOpts struct {
 	Sort       []string       `json:"sort,omitempty"`
 	Skip       int            `json:"skip,omitempty"`
 	Limit      int            `json:"limit,omitempty"`
+	// MaxStaleness (generations) permits follower reads; routing-only,
+	// but it rides the wire form so it lands in result-cache keys.
+	MaxStaleness int `json:"max_staleness,omitempty"`
 }
 
 // FromFindOpts converts store options to their wire form (nil passes
@@ -53,7 +70,13 @@ func FromFindOpts(o *datastore.FindOpts) *FindOpts {
 	if o == nil {
 		return nil
 	}
-	return &FindOpts{Projection: o.Projection, Sort: o.Sort, Skip: o.Skip, Limit: o.Limit}
+	return &FindOpts{
+		Projection:   o.Projection,
+		Sort:         o.Sort,
+		Skip:         o.Skip,
+		Limit:        o.Limit,
+		MaxStaleness: o.MaxStaleness,
+	}
 }
 
 // ToFindOpts converts wire options back to store options.
@@ -62,10 +85,11 @@ func (o *FindOpts) ToFindOpts() *datastore.FindOpts {
 		return nil
 	}
 	return &datastore.FindOpts{
-		Projection: document.NormalizeDoc(document.D(o.Projection)),
-		Sort:       o.Sort,
-		Skip:       o.Skip,
-		Limit:      o.Limit,
+		Projection:   document.NormalizeDoc(document.D(o.Projection)),
+		Sort:         o.Sort,
+		Skip:         o.Skip,
+		Limit:        o.Limit,
+		MaxStaleness: o.MaxStaleness,
 	}
 }
 
@@ -75,9 +99,12 @@ type InsertRequest struct {
 	Doc        map[string]any `json:"doc"`
 }
 
-// InsertResponse reports the stored id.
+// InsertResponse reports the stored id and the node's resulting
+// replication generation (the router's staleness bookkeeping piggybacks
+// on write acks).
 type InsertResponse struct {
-	ID string `json:"id"`
+	ID  string `json:"id"`
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // FindRequest runs a filtered read on a node.
@@ -116,9 +143,11 @@ type CountRequest struct {
 	Filter     map[string]any `json:"filter,omitempty"`
 }
 
-// CountResponse reports a count (also used for Remove).
+// CountResponse reports a count (also used for Remove, where Gen
+// piggybacks the node's post-write replication generation).
 type CountResponse struct {
-	N int `json:"n"`
+	N   int    `json:"n"`
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // GetRequest fetches one document by id.
@@ -140,10 +169,12 @@ type UpdateRequest struct {
 	Many       bool           `json:"many"`
 }
 
-// UpdateResponse reports what the update did.
+// UpdateResponse reports what the update did, plus the node's resulting
+// replication generation.
 type UpdateResponse struct {
-	Matched  int `json:"matched"`
-	Modified int `json:"modified"`
+	Matched  int    `json:"matched"`
+	Modified int    `json:"modified"`
+	Gen      uint64 `json:"gen,omitempty"`
 }
 
 // RemoveRequest deletes matching documents.
@@ -190,12 +221,24 @@ type OKResponse struct {
 	OK bool `json:"ok"`
 }
 
-// HealthResponse is a node's GET /internal/v1/health report.
+// HealthResponse is a node's GET /internal/v1/health report. AppliedGen
+// piggybacks the node's replication generation on every heartbeat so the
+// router can route bounded-staleness reads without extra round-trips.
 type HealthResponse struct {
 	OK          bool   `json:"ok"`
 	NodeID      string `json:"node_id"`
 	Collections int    `json:"collections"`
 	Documents   int    `json:"documents"`
+	AppliedGen  uint64 `json:"applied_gen,omitempty"`
+}
+
+// ReplApplyResponse reports what a follower did with a shipped batch of
+// log lines. Torn means a line failed its checksum mid-batch: the good
+// prefix was applied and the shipper should re-pull from Gen.
+type ReplApplyResponse struct {
+	Applied int    `json:"applied"`
+	Gen     uint64 `json:"gen"`
+	Torn    bool   `json:"torn,omitempty"`
 }
 
 // ErrorResponse is the non-2xx body of every transport endpoint.

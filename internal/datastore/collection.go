@@ -182,6 +182,12 @@ type FindOpts struct {
 	Sort       []string // "field" or "-field"
 	Skip       int
 	Limit      int // 0 means no limit
+	// MaxStaleness, when > 0, permits a routed read to be served by a
+	// replica whose applied replication generation lags the group head
+	// by at most this many generations. 0 (the default) keeps the read
+	// on the primary. Local (non-routed) reads ignore it — a single
+	// store is never stale relative to itself.
+	MaxStaleness int
 }
 
 // Find returns a cursor over documents matching filter. The cursor holds
@@ -576,5 +582,9 @@ func (c *Collection) log(op journalOp, id string, doc document.D) {
 	c.store.mu.RUnlock()
 	if j != nil {
 		j.logWrite(c.name, op, id, doc)
+		return
 	}
+	// Memory store: feed the in-memory replication ring instead (no-op
+	// unless EnableReplication was called).
+	c.store.repl.record(c.name, op, id, doc)
 }

@@ -44,13 +44,21 @@ const (
 	journalUpdate journalOp = "u"
 	journalRemove journalOp = "r"
 	journalDrop   journalOp = "d"
+	// journalMeta carries replication bookkeeping, not data: the first
+	// line of every snapshot records the replication generation the
+	// snapshot covers, so replay can restore the log's floor.
+	journalMeta journalOp = "m"
 )
 
 type journalRecord struct {
 	Op         journalOp       `json:"op"`
-	Collection string          `json:"c"`
+	Collection string          `json:"c,omitempty"`
 	ID         string          `json:"id,omitempty"`
 	Doc        json.RawMessage `json:"doc,omitempty"`
+	// Gen is the store-wide replication generation of this mutation.
+	// Gens are minted under the journal mutex, so journal file order is
+	// generation order. Zero on legacy (pre-replication) records.
+	Gen uint64 `json:"g,omitempty"`
 }
 
 // JournalFaults lets a fault injector interfere with journal appends.
@@ -79,6 +87,10 @@ type journal struct {
 	// obs, when set, receives append/fsync/snapshot latencies and
 	// counters. Guarded by mu like the rest of the journal state.
 	obs *obs.Registry
+	// repl mints and tracks replication generations for the owning
+	// store. Set once before the journal serves appends; the pointer is
+	// immutable afterwards (replState has its own mutex).
+	repl *replState
 }
 
 // RecoveryStats describes what replay found when a durable store was
@@ -197,6 +209,13 @@ func (j *journal) append(rec journalRecord) {
 	if j.file == nil {
 		return
 	}
+	// Mint the generation before the fault hooks: a dropped append still
+	// mutated memory, so its generation must stay burned — followers
+	// detect the hole (head advanced, entry unavailable) and fall back
+	// to a snapshot copy instead of believing they are caught up.
+	if j.repl != nil && rec.Gen == 0 && rec.Op != journalMeta {
+		rec.Gen = j.repl.next()
+	}
 	if j.faults != nil {
 		if d := j.faults.AppendDelay(); d > 0 {
 			//lint:ignore clockdiscipline the injected append stall simulates a slow disk; real elapsed time is the point
@@ -223,6 +242,31 @@ func (j *journal) append(rec journalRecord) {
 	}
 	j.obs.Counter("datastore.journal.appends").Inc()
 	j.obs.LatencyHistogram("datastore.journal.append_ms").ObserveDuration(time.Since(start))
+}
+
+// appendRaw journals one pre-framed line (checksum prefix, no trailing
+// newline) exactly as received. Used when applying replicated entries:
+// the follower's journal carries the primary's bytes — same checksums,
+// same generations — so a re-opened follower replays to the same state.
+func (j *journal) appendRaw(line []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.recordWriteErrLocked(err)
+		return
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		j.recordWriteErrLocked(err)
+		return
+	}
+	if err := j.w.Flush(); err != nil {
+		j.recordWriteErrLocked(err)
+		return
+	}
+	j.obs.Counter("datastore.journal.appends").Inc()
 }
 
 // recordWriteErrLocked notes a failed append so close() can surface it.
@@ -373,6 +417,15 @@ func replayFile(s *Store, path string, repairTail bool) (int, repairInfo, error)
 }
 
 func applyRecord(s *Store, rec journalRecord) error {
+	if rec.Op == journalMeta {
+		// Snapshot header: everything at or below Gen lives in the
+		// snapshot, not the journal.
+		s.repl.observeBase(rec.Gen)
+		return nil
+	}
+	if rec.Gen != 0 {
+		s.repl.observe(rec.Gen)
+	}
 	c := s.C(rec.Collection)
 	switch rec.Op {
 	case journalInsert, journalUpdate:
@@ -421,6 +474,27 @@ func (j *journal) snapshot(s *Store) error {
 		return fmt.Errorf("datastore: snapshot: %w", err)
 	}
 	w := bufio.NewWriter(f)
+
+	// Header: the replication generation this snapshot covers. Appends
+	// hold j.mu, so no generation past head can have reached the journal
+	// (a concurrent write applied in memory but not yet journaled has no
+	// generation yet and is captured by the state scan below — its later
+	// journal entry replays idempotently).
+	var head uint64
+	if j.repl != nil {
+		head = j.repl.current()
+		mb, merr := json.Marshal(journalRecord{Op: journalMeta, Gen: head})
+		if merr != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("datastore: snapshot meta: %w", merr)
+		}
+		if _, werr := w.Write(encodeLine(mb)); werr != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("datastore: snapshot meta: %w", werr)
+		}
+	}
 
 	s.mu.RLock()
 	colls := make([]*Collection, 0, len(s.collections))
@@ -483,6 +557,11 @@ func (j *journal) snapshot(s *Store) error {
 	}
 	j.file = nf
 	j.w = bufio.NewWriter(nf)
+	if j.repl != nil {
+		// Generations at or below head now live only in the snapshot;
+		// log pulls from below must fall back to a snapshot copy.
+		j.repl.setBase(head)
+	}
 	return nil
 }
 

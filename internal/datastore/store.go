@@ -31,6 +31,11 @@ type Store struct {
 	profiler    *Profiler
 	recovery    RecoveryStats
 
+	// repl tracks replication generations (and, for memory stores with
+	// replication enabled, a bounded ring of framed log entries). It has
+	// its own mutex; see repl.go.
+	repl replState
+
 	// Live observability (nil when not wired): every profiled operation
 	// also lands in the registry, and slow ops in the tracer's log.
 	obsReg atomic.Pointer[obs.Registry]
@@ -61,6 +66,10 @@ func Open(dir string) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Durable stores always mint generations: the journal is the
+		// replication log. Replay restored seq/base from the records
+		// (and snapshot meta) already on disk.
+		j.repl = &s.repl
 		s.journal = j
 		s.recovery = stats
 	}
@@ -185,7 +194,9 @@ func (s *Store) DropCollection(name string) {
 	s.mu.Unlock()
 	if j != nil {
 		j.logDrop(name)
+		return
 	}
+	s.repl.record(name, journalDrop, "", nil)
 }
 
 // Profiler returns the store-wide query profiler (the source of the

@@ -51,6 +51,7 @@ type Stats struct {
 	DroppedAppends int
 	Delays         int
 	TornTails      int
+	TornBatches    int
 	DroppedCalls   int
 	ErroredCalls   int
 }
@@ -165,6 +166,28 @@ func (in *Injector) TearTail(path string, maxCut int) (int64, error) {
 		return 0, err
 	}
 	return cut, nil
+}
+
+// TearBytes returns a copy of b with between 1 and maxCut bytes cut off
+// the end — the in-memory analogue of TearTail for a replication batch
+// in flight: the final framed line arrives clipped, the way a
+// connection reset mid-stream would leave it. maxCut <= 0 defaults to
+// 16; an empty batch is returned unchanged with cut 0.
+func (in *Injector) TearBytes(b []byte, maxCut int) ([]byte, int) {
+	if len(b) == 0 {
+		return b, 0
+	}
+	if maxCut <= 0 {
+		maxCut = 16
+	}
+	in.mu.Lock()
+	cut := in.rng.Intn(maxCut) + 1
+	in.stats.TornBatches++
+	in.mu.Unlock()
+	if cut > len(b) {
+		cut = len(b)
+	}
+	return append([]byte(nil), b[:len(b)-cut]...), cut
 }
 
 // Stats returns a snapshot of the faults injected so far.

@@ -210,6 +210,69 @@ func (c *Client) Query(criteria document.D, properties []string, limit int) ([]d
 	return toDocs(env.Response), nil
 }
 
+// QueryOpts refines QueryWith beyond criteria and projection.
+type QueryOpts struct {
+	// Limit caps returned rows (0 = no cap).
+	Limit int
+	// Skip drops the first N rows after sorting.
+	Skip int
+	// Sort lists field names; a "-" prefix means descending.
+	Sort []string
+	// MaxStaleness permits the router to serve the read from a replica
+	// at most this many generations behind the freshest known member.
+	// 0 keeps the default primary-first routing.
+	MaxStaleness int
+}
+
+// QueryWith runs a structured query with full read options, including
+// the bounded-staleness hint that lets the cluster route the read to a
+// follower.
+func (c *Client) QueryWith(criteria document.D, properties []string, opts QueryOpts) ([]document.D, error) {
+	payload := map[string]any{"criteria": map[string]any(criteria), "limit": opts.Limit}
+	if len(properties) > 0 {
+		payload["properties"] = properties
+	}
+	if opts.Skip > 0 {
+		payload["skip"] = opts.Skip
+	}
+	if len(opts.Sort) > 0 {
+		payload["sort"] = opts.Sort
+	}
+	if opts.MaxStaleness > 0 {
+		payload["max_staleness"] = opts.MaxStaleness
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	env, err := c.do(http.MethodPost, "/rest/v1/query", body)
+	if err != nil {
+		return nil, err
+	}
+	return toDocs(env.Response), nil
+}
+
+// Insert stores one document in the named collection (empty means the
+// materials collection) and returns its assigned id.
+func (c *Client) Insert(collection string, doc map[string]any) (string, error) {
+	body, err := json.Marshal(map[string]any{"collection": collection, "doc": doc})
+	if err != nil {
+		return "", err
+	}
+	env, err := c.do(http.MethodPost, "/rest/v1/insert", body)
+	if err != nil {
+		return "", err
+	}
+	if len(env.Response) == 0 {
+		return "", fmt.Errorf("mpclient: insert returned no id")
+	}
+	id, _ := env.Response[0]["_id"].(string)
+	if id == "" {
+		return "", fmt.Errorf("mpclient: insert returned no id")
+	}
+	return id, nil
+}
+
 // Aggregate runs a sanitized aggregation pipeline server-side.
 func (c *Client) Aggregate(pipeline []document.D) ([]document.D, error) {
 	stages := make([]map[string]any, len(pipeline))

@@ -152,15 +152,17 @@ func (e *Engine) Generation(collection string) uint64 {
 // non-JSON value) bypasses the cache rather than failing the read.
 func cacheArg(filter document.D, opts *datastore.FindOpts, field string) (string, bool) {
 	spec := struct {
-		F map[string]any `json:"f,omitempty"`
-		P map[string]any `json:"p,omitempty"`
-		S []string       `json:"s,omitempty"`
-		K int            `json:"k,omitempty"`
-		L int            `json:"l,omitempty"`
-		D string         `json:"d,omitempty"`
+		F  map[string]any `json:"f,omitempty"`
+		P  map[string]any `json:"p,omitempty"`
+		S  []string       `json:"s,omitempty"`
+		K  int            `json:"k,omitempty"`
+		L  int            `json:"l,omitempty"`
+		D  string         `json:"d,omitempty"`
+		MS int            `json:"ms,omitempty"` // staleness budget: follower-served results must not satisfy exact reads
 	}{F: filter, D: field}
 	if opts != nil {
 		spec.P, spec.S, spec.K, spec.L = opts.Projection, opts.Sort, opts.Skip, opts.Limit
+		spec.MS = opts.MaxStaleness
 	}
 	b, err := json.Marshal(spec)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,7 @@ func NewServer(engine *queryengine.Engine, auth *Auth, store *datastore.Store) *
 	mux.HandleFunc("POST /auth/signup", s.instrument("signup", s.handleSignup))
 	mux.HandleFunc("GET /rest/v1/materials/", s.instrument("materials", s.handleMaterials))
 	mux.HandleFunc("POST /rest/v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("POST /rest/v1/insert", s.instrument("insert", s.handleInsert))
 	mux.HandleFunc("POST /rest/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
 	mux.HandleFunc("GET /rest/v1/bandstructure/", s.instrument("bandstructure", s.handleDerived("bandstructures")))
 	mux.HandleFunc("GET /rest/v1/xrd/", s.instrument("xrd", s.handleDerived("xrd")))
@@ -154,7 +156,7 @@ func (s *Server) handleMaterials(w http.ResponseWriter, r *http.Request) {
 	if s.replyNotModified(w, r, s.MaterialsCollection) {
 		return
 	}
-	docs, err := s.Engine.Find(email, s.MaterialsCollection, filter, nil)
+	docs, err := s.Engine.Find(email, s.MaterialsCollection, filter, stalenessOpts(r))
 	if err != nil {
 		s.writeEngineErr(w, err)
 		return
@@ -223,11 +225,17 @@ func identifierFilter(identifier string) (document.D, error) {
 
 // queryRequest is the POST /rest/v1/query body: criteria in the Mongo
 // query language plus an optional property projection, mirroring the
-// real Materials API's query endpoint.
+// real Materials API's query endpoint. MaxStaleness (generations)
+// opts the read into bounded-staleness follower routing on a cluster:
+// the answer may lag the newest acknowledged write by at most that
+// many write generations. 0 keeps the read on primaries.
 type queryRequest struct {
-	Criteria   map[string]any `json:"criteria"`
-	Properties []string       `json:"properties"`
-	Limit      int            `json:"limit"`
+	Criteria     map[string]any `json:"criteria"`
+	Properties   []string       `json:"properties"`
+	Limit        int            `json:"limit"`
+	Skip         int            `json:"skip"`
+	Sort         []string       `json:"sort"`
+	MaxStaleness int            `json:"max_staleness"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -240,7 +248,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	opts := &datastore.FindOpts{Limit: req.Limit}
+	opts := &datastore.FindOpts{Limit: req.Limit, Skip: req.Skip, Sort: req.Sort, MaxStaleness: req.MaxStaleness}
 	if len(req.Properties) > 0 {
 		proj := document.D{}
 		for _, p := range req.Properties {
@@ -262,6 +270,59 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out[i] = map[string]any(d)
 	}
 	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+// stalenessOpts reads the max_staleness query parameter (generations)
+// from a GET request into find options; nil when absent or invalid, so
+// the default stays an exact primary read.
+func stalenessOpts(r *http.Request) *datastore.FindOpts {
+	raw := r.URL.Query().Get("max_staleness")
+	if raw == "" {
+		return nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return nil
+	}
+	return &datastore.FindOpts{MaxStaleness: k}
+}
+
+// insertRequest is the POST /rest/v1/insert body. Collection defaults
+// to the server's materials collection.
+type insertRequest struct {
+	Collection string         `json:"collection"`
+	Doc        map[string]any `json:"doc"`
+}
+
+// handleInsert writes one document through the engine (and so through
+// the router on a cluster). It exists for load harnesses and ingest
+// tooling — the staleness-probe writer in the failover smoke uses it —
+// and requires the same API-key auth as every other endpoint.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Doc) == 0 {
+		writeErr(w, http.StatusBadRequest, "doc required")
+		return
+	}
+	collection := req.Collection
+	if collection == "" {
+		collection = s.MaterialsCollection
+	}
+	id, err := s.Engine.Insert(email, collection, document.NormalizeDoc(document.D(req.Doc)))
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true,
+		Response: []any{map[string]any{"_id": id}}})
 }
 
 // aggregateRequest is the POST /rest/v1/aggregate body.
@@ -318,7 +379,7 @@ func (s *Server) handleDerived(collection string) http.HandlerFunc {
 		if s.replyNotModified(w, r, collection) {
 			return
 		}
-		docs, err := s.Engine.Find(email, collection, document.D{"material_id": id}, nil)
+		docs, err := s.Engine.Find(email, collection, document.D{"material_id": id}, stalenessOpts(r))
 		if err != nil {
 			s.writeEngineErr(w, err)
 			return
@@ -347,7 +408,7 @@ func (s *Server) handleBatteries(w http.ResponseWriter, r *http.Request) {
 	if ion := r.URL.Query().Get("ion"); ion != "" {
 		filter["working_ion"] = ion
 	}
-	docs, err := s.Engine.Find(email, "batteries", filter, nil)
+	docs, err := s.Engine.Find(email, "batteries", filter, stalenessOpts(r))
 	if err != nil {
 		s.writeEngineErr(w, err)
 		return

@@ -85,6 +85,9 @@ func (g *Generator) Next() Query {
 			Filter: document.D{"pretty_formula": g.formulas[g.rng.Intn(len(g.formulas))]}}
 	case p < 0.6:
 		n := 1 + g.rng.Intn(2)
+		if n > len(g.elements) {
+			n = len(g.elements)
+		}
 		set := make([]any, 0, n)
 		seen := map[string]bool{}
 		for len(set) < n {

@@ -45,7 +45,7 @@ N2=$!
 "$TMP/mpserve" -role router -addr 127.0.0.1:19800 -shards 2 -materials 20 \
     -peers http://127.0.0.1:19801,http://127.0.0.1:19802 >"$TMP/r.log" 2>&1 &
 R=$!
-trap 'kill $N1 $N2 $R ${S:-} 2>/dev/null || true; rm -rf "$TMP"' EXIT
+trap 'kill $N1 $N2 $R ${S:-} ${F1:-} ${F2:-} ${F3:-} ${F4:-} ${F3B:-} ${FR:-} 2>/dev/null || true; rm -rf "$TMP"' EXIT
 for _ in $(seq 1 30); do
     curl -fsS -o /dev/null http://127.0.0.1:19800/status 2>/dev/null && break
     sleep 1
@@ -87,4 +87,58 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "X-API-KEY: $KEY" -H "If-None-M
 [ "$CODE" = "304" ] \
     || { echo "check: conditional GET returned $CODE, want 304"; exit 1; }
 echo "cache smoke: hit + 304 OK"
+
+# Failover e2e smoke (SLO-gated): a 2-shard × 2-member cluster of real
+# processes with durable node stores takes a fixed-rate open-loop
+# webload with bounded-staleness follower reads while one replica is
+# killed (-9) and restarted mid-run. The gate fails if the p99 exceeds
+# its budget, any probe read observes data older than its staleness
+# bound (mpbench -exp webload exits nonzero on either), or the router
+# re-admitted the replica without shipping log entries — i.e. anything
+# but incremental catch-up.
+echo "failover e2e smoke..."
+go build -o "$TMP/mpbench" ./cmd/mpbench
+"$TMP/mpserve" -role node -addr 127.0.0.1:19821 -data "$TMP/d1" >"$TMP/f1.log" 2>&1 &
+F1=$!
+"$TMP/mpserve" -role node -addr 127.0.0.1:19822 -data "$TMP/d2" >"$TMP/f2.log" 2>&1 &
+F2=$!
+"$TMP/mpserve" -role node -addr 127.0.0.1:19823 -data "$TMP/d3" >"$TMP/f3.log" 2>&1 &
+F3=$!
+"$TMP/mpserve" -role node -addr 127.0.0.1:19824 -data "$TMP/d4" >"$TMP/f4.log" 2>&1 &
+F4=$!
+# Round-robin assignment: group 0 = {19821, 19823}, group 1 = {19822, 19824}.
+"$TMP/mpserve" -role router -addr 127.0.0.1:19820 -shards 2 -materials 30 \
+    -health-interval 300ms \
+    -peers http://127.0.0.1:19821,http://127.0.0.1:19822,http://127.0.0.1:19823,http://127.0.0.1:19824 \
+    >"$TMP/fr.log" 2>&1 &
+FR=$!
+for _ in $(seq 1 30); do
+    curl -fsS -o /dev/null http://127.0.0.1:19820/status 2>/dev/null && break
+    sleep 1
+done
+"$TMP/mpbench" -exp webload -url http://127.0.0.1:19820 \
+    -rate 60 -load-duration 8s -max-staleness 4 -probe-groups 2 -slo-p99-ms 500 \
+    -webload-out "$TMP/BENCH_webload.json" >"$TMP/webload.log" 2>&1 &
+W=$!
+sleep 2
+# Kill group 0's replica outright mid-load...
+kill -9 $F3 2>/dev/null || true
+sleep 2
+# ...and bring it back on the same port with the same durable store: it
+# replays its journal, then the router must catch it up from the log.
+"$TMP/mpserve" -role node -addr 127.0.0.1:19823 -data "$TMP/d3" >"$TMP/f3b.log" 2>&1 &
+F3B=$!
+wait $W \
+    || { echo "check: webload SLO/staleness gate failed"; cat "$TMP/webload.log"; exit 1; }
+cat "$TMP/webload.log"
+curl -fsS http://127.0.0.1:19820/metrics \
+    | jq -e '.counters["cluster.repl_readmissions"] >= 1 and .counters["cluster.repl_catchup_entries"] >= 1' >/dev/null \
+    || { echo "check: replica was not re-admitted via log catch-up"; curl -fsS http://127.0.0.1:19820/metrics | jq '.counters'; exit 1; }
+echo "failover smoke: SLO held through kill + log-catch-up re-admission OK"
+
+# The in-process chaos variant writes the BENCH_failover.json artifact
+# and enforces the same gates without process orchestration.
+"$TMP/mpbench" -exp failover -rate 100 -load-duration 3s \
+    -failover-out BENCH_failover.json \
+    || { echo "check: in-process failover gate failed"; exit 1; }
 echo "check: all green"
