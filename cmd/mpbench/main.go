@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|failover|webload|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|failover|planner|webload|all)")
 	scaleName := flag.String("scale", "full", "experiment scale (small|full)")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "bench mode: timed-loop results file")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "bench mode: metrics registry snapshot file")
@@ -28,6 +28,8 @@ func main() {
 	cacheOut := flag.String("cache-out", "BENCH_cache.json", "cache mode: result-cache hot/miss results file")
 	failoverOut := flag.String("failover-out", "BENCH_failover.json", "failover mode: SLO-gated chaos results file")
 	webloadOut := flag.String("webload-out", "BENCH_webload.json", "webload mode: open-loop HTTP load results file")
+	plannerOut := flag.String("planner-out", "BENCH_planner.json", "planner mode: indexed-vs-scan range query results file")
+	plannerMin := flag.Float64("planner-min-speedup", 10, "planner mode: minimum 100k-doc indexed range speedup; under it the run fails")
 	rate := flag.Float64("rate", 150, "open-loop arrival rate in queries/sec (failover, webload)")
 	loadDur := flag.Duration("load-duration", 4*time.Second, "open-loop load window (failover, webload)")
 	maxStale := flag.Int("max-staleness", 4, "staleness budget in generations for follower reads (failover, webload)")
@@ -145,6 +147,11 @@ func main() {
 		// or staleness-bound breach.
 		"failover": func() error {
 			return runFailoverBench(*failoverOut, *rate, *loadDur, *maxStale, *sloP99)
+		},
+		// planner writes the ordered-index-vs-full-scan range query
+		// speedup into BENCH_planner.json, gated on -planner-min-speedup.
+		"planner": func() error {
+			return runPlannerBench(*plannerOut, *plannerMin)
 		},
 		// webload drives a running mpserve deployment (-url) with the
 		// same open-loop mix over HTTP, gating on p99 and staleness.

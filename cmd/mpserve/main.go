@@ -60,6 +60,8 @@ func main() {
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "router health-check period (0 disables the loop)")
 	cacheSize := flag.Int("cache-size", 4096, "result cache capacity in entries (standalone, router)")
 	cacheOff := flag.Bool("cache-off", false, "disable the read-path result cache")
+	orderedIndexes := flag.String("ordered-index", "",
+		"ordered compound indexes to create after load, as coll:path1,path2 specs separated by ';' (standalone, router)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -78,17 +80,57 @@ func main() {
 		rc = rcache.New(*cacheSize, reg)
 	}
 
+	oindexes, err := parseOrderedIndexSpecs(*orderedIndexes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpserve: %v\n", err)
+		os.Exit(2)
+	}
+
 	switch *role {
 	case "standalone":
-		runStandalone(*addr, *nMaterials, *dataDir, *seed, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+		runStandalone(*addr, *nMaterials, *dataDir, *seed, oindexes, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
 	case "node":
 		runNode(*addr, *nodeID, *dataDir, reg)
 	case "router":
-		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, oindexes, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
 	default:
 		fmt.Fprintf(os.Stderr, "mpserve: unknown role %q (want standalone, node, or router)\n", *role)
 		os.Exit(2)
 	}
+}
+
+// orderedIndexSpec names one ordered compound index to create after the
+// corpus loads.
+type orderedIndexSpec struct {
+	collection string
+	paths      []string
+}
+
+// parseOrderedIndexSpecs parses the -ordered-index flag value:
+// "coll:path1,path2;coll2:path3".
+func parseOrderedIndexSpecs(raw string) ([]orderedIndexSpec, error) {
+	var specs []orderedIndexSpec
+	for _, part := range strings.Split(raw, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		coll, pathList, ok := strings.Cut(part, ":")
+		if !ok || coll == "" {
+			return nil, fmt.Errorf("-ordered-index spec %q: want coll:path1,path2", part)
+		}
+		var paths []string
+		for _, p := range strings.Split(pathList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("-ordered-index spec %q: no paths", part)
+		}
+		specs = append(specs, orderedIndexSpec{collection: coll, paths: paths})
+	}
+	return specs, nil
 }
 
 // runNode serves a bare shard node: a datastore exposed over the internal
@@ -118,7 +160,8 @@ func runNode(addr, id, dataDir string, reg *obs.Registry) {
 // store (the paper isolates "the various roles of the database to
 // separate servers").
 func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEvery time.Duration,
-	rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
+	oindexes []orderedIndexSpec, rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer,
+	metrics, pprofFlag bool, slowQueryMs float64) {
 	var urls []string
 	for _, p := range strings.Split(peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -164,6 +207,11 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 		log.Fatalf("mpserve: load cluster: %v", err)
 	}
 	log.Printf("loaded %d documents onto %d shard group(s)", copied, shards)
+	for _, spec := range oindexes {
+		router.EnsureOrderedIndex(spec.collection, spec.paths...)
+		log.Printf("ordered index on %s(%s) created on every shard member",
+			spec.collection, strings.Join(spec.paths, ","))
+	}
 
 	// The dissemination layer runs unchanged in front of the cluster.
 	eng := queryengine.NewWithBackend(router, queryengine.WithRateLimit(10000, time.Minute))
@@ -182,7 +230,8 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 }
 
 func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
-	rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64) {
+	oindexes []orderedIndexSpec, rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer,
+	metrics, pprofFlag bool, slowQueryMs float64) {
 	cfg := pipeline.DefaultConfig()
 	cfg.NMaterials = nMaterials
 	cfg.PersistDir = dataDir
@@ -195,6 +244,10 @@ func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
 		log.Fatalf("mpserve: build: %v", err)
 	}
 	d.Engine.SetCache(rc)
+	for _, spec := range oindexes {
+		d.Store.C(spec.collection).EnsureOrderedIndex(spec.paths...)
+		log.Printf("ordered index on %s(%s)", spec.collection, strings.Join(spec.paths, ","))
+	}
 	st := d.Store.Stats()
 	log.Printf("store ready: %d collections, %d documents, ~%d KB", st.Collections, st.Documents, st.Bytes/1024)
 	log.Printf("materials=%d tasks=%d bandstructures=%d xrd=%d batteries=%d",

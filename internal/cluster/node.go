@@ -89,6 +89,7 @@ func NewNode(id string, store *datastore.Store, reg *obs.Registry) *Node {
 	post(wire.PathDistinct, n.handleDistinct)
 	post(wire.PathMapReduce, n.handleMapReduce)
 	post(wire.PathEnsureIndex, n.handleEnsureIndex)
+	post(wire.PathExplain, n.handleExplain)
 	post(wire.PathReplPull, n.handleReplPull)
 	post(wire.PathReplApply, n.handleReplApply)
 	post(wire.PathReplSnapshot, n.handleReplSnapshot)
@@ -276,8 +277,24 @@ func (n *Node) handleEnsureIndex(w http.ResponseWriter, r *http.Request) error {
 	if err := wire.DecodeJSON(r.Body, &req); err != nil {
 		return badRequest("%v", err)
 	}
-	n.store.C(req.Collection).EnsureIndex(req.Path)
+	if len(req.Paths) > 0 {
+		n.store.C(req.Collection).EnsureOrderedIndex(req.Paths...)
+	} else {
+		n.store.C(req.Collection).EnsureIndex(req.Path)
+	}
 	return writeJSON(w, wire.OKResponse{OK: true})
+}
+
+func (n *Node) handleExplain(w http.ResponseWriter, r *http.Request) error {
+	var req wire.ExplainRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	plan, err := n.store.C(req.Collection).Explain(wire.NormalizeMap(req.Filter), req.Opts.ToFindOpts())
+	if err != nil {
+		return badRequest("cluster: explain %s: %v", req.Collection, err)
+	}
+	return writeJSON(w, wire.DocResponse{Doc: map[string]any(plan)})
 }
 
 func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -385,3 +385,74 @@ func TestReadRetriesRecoverTransientBlip(t *testing.T) {
 		t.Error("retry counter never moved")
 	}
 }
+
+// TestIndexDefsReachReadmittedReplica: an ordered index created while a
+// replica is down is a replicated log record like any write, so the
+// catch-up stream must deliver it — the re-admitted replica ends up with
+// the index built and planning through it.
+func TestIndexDefsReachReadmittedReplica(t *testing.T) {
+	reg := obs.NewRegistry()
+	n0 := cluster.NewNode("n0", datastore.MustOpenMemory(), reg)
+	n1 := cluster.NewNode("n1", datastore.MustOpenMemory(), reg)
+	s0, s1 := serveNode(t, n0), serveNode(t, n1)
+	r, err := cluster.NewRouter(cluster.RouterOptions{
+		Groups: [][]string{{s0.url(), s1.url()}}, Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	routed := r.C("materials")
+	seedMaterials(t, routed, 12)
+
+	s1.stop()
+	r.EnsureOrderedIndex("materials", "band_gap")
+	if _, err := routed.Insert(document.D{"_id": "gap-0", "band_gap": 1.25}); err != nil {
+		t.Fatalf("insert during outage: %v", err)
+	}
+	if got := n1.Store().C("materials").OrderedIndexes(); len(got) != 0 {
+		t.Fatalf("dead replica grew indexes: %v", got)
+	}
+
+	s1.restart()
+	if healthy := r.CheckNow(); healthy != 2 {
+		t.Fatalf("healthy after re-admission sweep = %d, want 2", healthy)
+	}
+	got := n1.Store().C("materials").OrderedIndexes()
+	if len(got) != 1 || got[0] != "band_gap" {
+		t.Fatalf("re-admitted replica indexes = %v, want [band_gap]", got)
+	}
+	// The caught-up index is real: the replica plans range queries
+	// through it and the backfill covered both pre-outage docs and the
+	// write that followed the create in the log.
+	plan, err := n1.Store().C("materials").Explain(
+		document.D{"band_gap": document.D{"$gte": 1.0, "$lt": 2.0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan["mode"] != "index" || plan["index"] != "band_gap" {
+		t.Fatalf("re-admitted replica does not plan through the index: %v", plan)
+	}
+	nLocal, err := n1.Store().C("materials").Count(document.D{"band_gap": document.D{"$gte": 1.0, "$lt": 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRouted, err := routed.Count(document.D{"band_gap": document.D{"$gte": 1.0, "$lt": 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nLocal != nRouted {
+		t.Fatalf("re-admitted replica count %d, routed count %d", nLocal, nRouted)
+	}
+
+	// Routed Explain merges per-shard plans; with one group the merged
+	// doc reports the common mode.
+	merged, err := routed.Explain(document.D{"band_gap": document.D{"$gte": 1.0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged["sharded"] != true || merged["mode"] != "index" {
+		t.Fatalf("routed explain = %v, want sharded index mode", merged)
+	}
+}

@@ -715,6 +715,74 @@ func (r *Router) EnsureIndex(collection, path string) {
 	}
 }
 
+// EnsureOrderedIndex creates an ordered compound index on every member of
+// every group. Like EnsureIndex it fans over all groups — index
+// definitions are cluster-wide metadata, not shard-keyed data — and the
+// per-node journal record makes each member's copy durable. The write
+// generation bumps so cached plans (and $explain responses) refresh.
+func (r *Router) EnsureOrderedIndex(collection string, paths ...string) {
+	for gi := range r.groups {
+		r.writeOnGroup(gi, func(m *member) error {
+			var resp wire.OKResponse
+			if err := r.call(m, wire.PathEnsureIndex, wire.EnsureIndexRequest{Collection: collection, Paths: paths}, &resp); err != nil {
+				return err
+			}
+			return nil
+		})
+		r.bumpGen(collection, gi)
+	}
+}
+
+// explain scatters a plan-only request to the targeted groups and merges
+// the per-shard planner decisions into one document. Each shard plans
+// independently (its index set is identical by construction — index DDL
+// fans out to every group — but its statistics differ), so the merged
+// doc reports every shard's plan plus a top-level mode: the common mode
+// when the shards agree, "mixed" otherwise.
+func (r *Router) explain(collection string, filter document.D, opts *datastore.FindOpts) (document.D, error) {
+	targets, err := r.targets(filter)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]document.D, len(targets))
+	err = r.scatter(targets, func(gi int) error {
+		var resp wire.DocResponse
+		req := wire.ExplainRequest{Collection: collection, Filter: wireMap(filter), Opts: wire.FromFindOpts(opts)}
+		if err := r.readOnGroup(gi, wire.PathExplain, req, &resp); err != nil {
+			return err
+		}
+		plan := wire.NormalizeMap(resp.Doc)
+		plan["shard"] = int64(gi)
+		for slot, t := range targets {
+			if t == gi {
+				plans[slot] = plan
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mode := ""
+	shards := make([]any, len(plans))
+	for i, p := range plans {
+		shards[i] = p
+		m, _ := p["mode"].(string)
+		switch {
+		case i == 0:
+			mode = m
+		case m != mode:
+			mode = "mixed"
+		}
+	}
+	return document.D{
+		"collection": collection,
+		"sharded":    true,
+		"shards":     shards,
+		"mode":       mode,
+	}, nil
+}
+
 // Remove deletes matching documents on every targeted group's members.
 func (r *Router) Remove(collection string, filter document.D) (int, error) {
 	targets, err := r.targets(filter)
@@ -1295,6 +1363,10 @@ func (c routedCollection) Insert(doc document.D) (string, error) {
 
 func (c routedCollection) Aggregate(pipeline []document.D) ([]document.D, error) {
 	return c.r.aggregate(c.name, pipeline)
+}
+
+func (c routedCollection) Explain(filter document.D, opts *datastore.FindOpts) (document.D, error) {
+	return c.r.explain(c.name, filter, opts)
 }
 
 // Generation reports the sum of this collection's per-shard write

@@ -36,6 +36,7 @@ const (
 	PathDistinct    = "/distinct"
 	PathMapReduce   = "/mapreduce"
 	PathEnsureIndex = "/ensureindex"
+	PathExplain     = "/explain"
 	PathHealth      = "/health"
 
 	// Replication-log endpoints. Pull and Snapshot stream framed journal
@@ -62,6 +63,9 @@ type FindOpts struct {
 	// MaxStaleness (generations) permits follower reads; routing-only,
 	// but it rides the wire form so it lands in result-cache keys.
 	MaxStaleness int `json:"max_staleness,omitempty"`
+	// Hint forwards the router's chosen-index hint so every shard runs
+	// the same plan (see datastore.FindOpts.Hint).
+	Hint string `json:"hint,omitempty"`
 }
 
 // FromFindOpts converts store options to their wire form (nil passes
@@ -76,6 +80,7 @@ func FromFindOpts(o *datastore.FindOpts) *FindOpts {
 		Skip:         o.Skip,
 		Limit:        o.Limit,
 		MaxStaleness: o.MaxStaleness,
+		Hint:         o.Hint,
 	}
 }
 
@@ -90,6 +95,7 @@ func (o *FindOpts) ToFindOpts() *datastore.FindOpts {
 		Skip:         o.Skip,
 		Limit:        o.Limit,
 		MaxStaleness: o.MaxStaleness,
+		Hint:         o.Hint,
 	}
 }
 
@@ -210,10 +216,20 @@ type MapReduceRequest struct {
 	Filter     map[string]any `json:"filter,omitempty"`
 }
 
-// EnsureIndexRequest creates a secondary index on a node.
+// EnsureIndexRequest creates a secondary index on a node. Path creates
+// a single-path hash index; Paths (when non-empty) creates an ordered
+// compound index over the given dotted paths instead.
 type EnsureIndexRequest struct {
-	Collection string `json:"collection"`
-	Path       string `json:"path"`
+	Collection string   `json:"collection"`
+	Path       string   `json:"path,omitempty"`
+	Paths      []string `json:"paths,omitempty"`
+}
+
+// ExplainRequest asks a node for its planner's decision on a query.
+type ExplainRequest struct {
+	Collection string         `json:"collection"`
+	Filter     map[string]any `json:"filter,omitempty"`
+	Opts       *FindOpts      `json:"opts,omitempty"`
 }
 
 // OKResponse acknowledges a side-effect-only request.

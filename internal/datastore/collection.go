@@ -36,6 +36,7 @@ type Collection struct {
 	seq     map[string]int // id -> insertion sequence, for candidate sorting
 	seqNext int
 	indexes map[string]*index
+	ordered map[string]*orderedIndex // canonical name -> sorted compound index
 	bytes   int
 
 	// gen is the collection's write generation: it takes a fresh value
@@ -53,6 +54,7 @@ func newCollection(name string, store *Store) *Collection {
 		docs:    make(map[string]document.D),
 		seq:     make(map[string]int),
 		indexes: make(map[string]*index),
+		ordered: make(map[string]*orderedIndex),
 	}
 	c.gen.Store(genCounter.Add(1))
 	return c
@@ -77,6 +79,8 @@ type CollStats struct {
 	Documents int
 	Bytes     int
 	Indexes   []string
+	// Ordered lists the canonical names of sorted compound indexes.
+	Ordered []string
 }
 
 // Stats reports size and index information.
@@ -88,7 +92,12 @@ func (c *Collection) Stats() CollStats {
 		idx = append(idx, p)
 	}
 	sort.Strings(idx)
-	return CollStats{Documents: len(c.docs), Bytes: c.bytes, Indexes: idx}
+	ord := make([]string, 0, len(c.ordered))
+	for n := range c.ordered {
+		ord = append(ord, n)
+	}
+	sort.Strings(ord)
+	return CollStats{Documents: len(c.docs), Bytes: c.bytes, Indexes: idx, Ordered: ord}
 }
 
 // Insert stores a document. If it has no "_id", one is assigned; the
@@ -141,6 +150,9 @@ func (c *Collection) insertLocked(id string, d document.D) {
 	for _, idx := range c.indexes {
 		idx.add(id, d)
 	}
+	for _, ox := range c.ordered {
+		ox.add(id, d)
+	}
 	c.bumpGenLocked()
 }
 
@@ -161,6 +173,9 @@ func (c *Collection) removeLocked(id string) {
 	for _, idx := range c.indexes {
 		idx.remove(id, d)
 	}
+	for _, ox := range c.ordered {
+		ox.remove(id, d)
+	}
 	c.bumpGenLocked()
 }
 
@@ -170,6 +185,10 @@ func (c *Collection) replaceLocked(id string, newDoc document.D) {
 	for _, idx := range c.indexes {
 		idx.remove(id, old)
 		idx.add(id, newDoc)
+	}
+	for _, ox := range c.ordered {
+		ox.remove(id, old)
+		ox.add(id, newDoc)
 	}
 	c.bytes += document.ApproxSize(newDoc) - document.ApproxSize(old)
 	c.docs[id] = newDoc
@@ -188,6 +207,13 @@ type FindOpts struct {
 	// on the primary. Local (non-routed) reads ignore it — a single
 	// store is never stale relative to itself.
 	MaxStaleness int
+	// Hint forces the query planner to use the named index (a hash
+	// index's path or an ordered index's comma-joined component paths)
+	// when that index is usable for the filter at all. Routed reads
+	// forward the hint to every shard, so the whole scatter runs the
+	// same plan regardless of per-shard statistics. Unknown or unusable
+	// hints are ignored.
+	Hint string
 }
 
 // Find returns a cursor over documents matching filter. The cursor holds
@@ -214,13 +240,58 @@ func (c *Collection) Find(filter document.D, opts *FindOpts) (*Cursor, error) {
 	}
 
 	c.mu.RLock()
-	matched := c.scanLocked(flt)
-	// Copy out under the read lock so the cursor is a stable snapshot.
-	results := make([]document.D, 0, len(matched))
-	for _, id := range matched {
-		results = append(results, proj.Apply(c.docs[id]))
+	var results []document.D
+	var plan *queryPlan
+	if ids, handled := c.idLookupLocked(flt); handled {
+		plan = &queryPlan{mode: "id", estimate: len(ids), ndocs: len(c.docs)}
+		c.notePlan(plan)
+		results = make([]document.D, 0, len(ids))
+		for _, id := range ids {
+			results = append(results, proj.Apply(c.docs[id]))
+		}
+		c.mu.RUnlock()
+	} else {
+		plan = c.planQueryLocked(flt, sortKeys, opts)
+		c.notePlan(plan)
+		if plan.sortSatisfied {
+			// The chosen ordered index emits matches already in sort
+			// order, so sort, skip and limit are all satisfied during
+			// the index walk — nothing is materialized beyond the
+			// returned page.
+			want := -1
+			if limit > 0 {
+				want = skip + limit
+			}
+			matched := 0
+			c.orderedEmitLocked(plan.access, plan.reverse, func(id string) bool {
+				if !flt.Matches(c.docs[id]) {
+					return true
+				}
+				matched++
+				if matched <= skip {
+					return true
+				}
+				results = append(results, proj.Apply(c.docs[id]))
+				return want < 0 || matched < want
+			})
+			c.mu.RUnlock()
+			c.profilePlan("find", start, len(results), plan)
+			return &Cursor{docs: results}, nil
+		}
+		// Limit pushdown without a sort: matches come back in insertion
+		// order, so the first skip+limit of them are the page.
+		maxMatches := 0
+		if len(sortKeys) == 0 && limit > 0 {
+			maxMatches = skip + limit
+		}
+		matched := c.execPlanLocked(flt, plan, maxMatches)
+		// Copy out under the read lock so the cursor is a stable snapshot.
+		results = make([]document.D, 0, len(matched))
+		for _, id := range matched {
+			results = append(results, proj.Apply(c.docs[id]))
+		}
+		c.mu.RUnlock()
 	}
-	c.mu.RUnlock()
 
 	query.SortDocs(results, sortKeys)
 	if skip > 0 {
@@ -233,7 +304,7 @@ func (c *Collection) Find(filter document.D, opts *FindOpts) (*Cursor, error) {
 	if limit > 0 && limit < len(results) {
 		results = results[:limit]
 	}
-	c.profile("find", start, len(results))
+	c.profilePlan("find", start, len(results), plan)
 	return &Cursor{docs: results}, nil
 }
 
@@ -547,6 +618,20 @@ func (c *Collection) RemoveID(id string) error {
 // profile records an operation in the store profiler and, when the store
 // is observed, in the live metrics registry and slow-op tracer.
 func (c *Collection) profile(op string, start time.Time, returned int) {
+	c.profileDetail(op, start, returned, "")
+}
+
+// profilePlan is profile plus the chosen query plan in the slow-op trace
+// detail, so a slow query's trace line shows how it was executed.
+func (c *Collection) profilePlan(op string, start time.Time, returned int, plan *queryPlan) {
+	summary := ""
+	if plan != nil {
+		summary = plan.planSummary()
+	}
+	c.profileDetail(op, start, returned, summary)
+}
+
+func (c *Collection) profileDetail(op string, start time.Time, returned int, planStr string) {
 	if c.store == nil {
 		return
 	}
@@ -569,6 +654,9 @@ func (c *Collection) profile(op string, start time.Time, returned int) {
 		}
 	}
 	tr.ObserveFunc("datastore."+op, dur, func() string {
+		if planStr != "" {
+			return fmt.Sprintf("collection=%s returned=%d plan=%s", c.name, returned, planStr)
+		}
 		return fmt.Sprintf("collection=%s returned=%d", c.name, returned)
 	})
 }

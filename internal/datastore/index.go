@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"matproj/internal/document"
 	"matproj/internal/query"
@@ -20,9 +21,18 @@ type index struct {
 	// that value (or containing it, for arrays).
 	buckets map[string]*bucket
 	// sorted holds bucket keys in document.Compare order of their sample
-	// values, rebuilt lazily for range scans.
+	// values, rebuilt lazily for range scans. The lazy rebuild happens
+	// under the collection's *shared* lock, so concurrent readers
+	// serialize on sortMu (writers hold the exclusive lock and never
+	// race it).
+	sortMu sync.Mutex
 	sorted []string
 	dirty  bool
+	// multikey is set once an array value is indexed and never cleared
+	// (writers hold the collection's exclusive lock; readers its shared
+	// lock). A multikey path makes two-sided ranges unsound as a single
+	// sorted interval — see rangeLookup.
+	multikey bool
 }
 
 type bucket struct {
@@ -74,8 +84,14 @@ func (ix *index) keysFor(d document.D) []any {
 		return nil
 	}
 	if arr, isArr := v.([]any); isArr {
+		// Elements for multikey lookups, plus the whole array so an
+		// equality filter on the full array value also hits the index
+		// (without this, {path: [1,2]} planned through the index found
+		// nothing even when documents matched).
+		ix.multikey = true
 		out := make([]any, 0, len(arr)+1)
 		out = append(out, arr...)
+		out = append(out, v)
 		return out
 	}
 	return []any{v}
@@ -120,6 +136,7 @@ func (ix *index) lookup(v any) map[string]struct{} {
 // rangeLookup returns ids whose indexed value lies within the constraint
 // bounds.
 func (ix *index) rangeLookup(rc query.RangeConstraint) map[string]struct{} {
+	ix.sortMu.Lock()
 	if ix.dirty {
 		ix.sorted = ix.sorted[:0]
 		for k := range ix.buckets {
@@ -130,8 +147,16 @@ func (ix *index) rangeLookup(rc query.RangeConstraint) map[string]struct{} {
 		})
 		ix.dirty = false
 	}
+	sorted := ix.sorted
+	ix.sortMu.Unlock()
+	// On a multikey path a two-sided range cannot be applied bucket-wise:
+	// cmpPred tests each array element independently, so one element may
+	// satisfy the min bound while another satisfies the max — yet no
+	// single bucket value satisfies both. Apply only the min bound there
+	// (a superset; callers re-verify against the full filter).
+	useMax := rc.HasMax && !(ix.multikey && rc.HasMin)
 	out := make(map[string]struct{})
-	for _, k := range ix.sorted {
+	for _, k := range sorted {
 		b := ix.buckets[k]
 		if rc.HasMin {
 			c := document.Compare(b.value, rc.Min)
@@ -139,7 +164,7 @@ func (ix *index) rangeLookup(rc query.RangeConstraint) map[string]struct{} {
 				continue
 			}
 		}
-		if rc.HasMax {
+		if useMax {
 			c := document.Compare(b.value, rc.Max)
 			if c > 0 || (c == 0 && rc.MaxOpen) {
 				break
@@ -153,59 +178,107 @@ func (ix *index) rangeLookup(rc query.RangeConstraint) map[string]struct{} {
 }
 
 // EnsureIndex creates a secondary index on a dotted path, backfilling from
-// existing documents. Creating an existing index is a no-op.
+// existing documents. Creating an existing index is a no-op. The
+// definition is journaled so durable stores rebuild it on replay and
+// replicas receive it through the log.
 func (c *Collection) EnsureIndex(path string) {
 	if path == "" || path == "_id" {
 		return // _id is always the primary key
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	created := c.ensureHashLocked(path)
+	c.mu.Unlock()
+	if created {
+		c.log(journalIndex, path, hashIndexDefDoc(path))
+	}
+}
+
+// ensureHashLocked creates a hash index without journaling (shared by
+// EnsureIndex and journal/replication replay). Returns whether a new
+// index was created.
+func (c *Collection) ensureHashLocked(path string) bool {
 	if _, ok := c.indexes[path]; ok {
-		return
+		return false
 	}
 	ix := newIndex(path)
 	for id, d := range c.docs {
 		ix.add(id, d)
 	}
 	c.indexes[path] = ix
+	c.bumpGenLocked()
+	return true
 }
 
 // DropIndex removes a secondary index.
 func (c *Collection) DropIndex(path string) {
 	c.mu.Lock()
+	_, had := c.indexes[path]
 	delete(c.indexes, path)
+	if had {
+		c.bumpGenLocked()
+	}
 	c.mu.Unlock()
+	if had {
+		c.log(journalIndexDrop, path, hashIndexDefDoc(path))
+	}
 }
 
 // scanLocked evaluates a compiled filter and returns matching ids in
 // insertion order. The caller must hold at least a read lock.
 //
-// Planner: _id equality resolves directly; otherwise each indexed
-// equality/contains/range constraint yields a candidate id set and the
-// smallest set is verified against the full filter. With no usable index
-// the whole collection is scanned.
+// Planning: _id equality resolves directly; otherwise planQueryLocked
+// (planner.go) estimates a cardinality for every usable index — hash
+// equality/contains buckets, ordered key ranges — and the cheapest
+// access path's candidates are verified against the full filter. With
+// no usable index the whole collection is scanned.
 func (c *Collection) scanLocked(flt *query.Filter) []string {
-	// Fast path: _id pinned.
-	if flt != nil {
-		if idv, ok := flt.EqualityFields()["_id"]; ok {
-			if id, isStr := idv.(string); isStr {
-				if d, exists := c.docs[id]; exists && flt.Matches(d) {
-					return []string{id}
-				}
-				return nil
-			}
-		}
+	if ids, handled := c.idLookupLocked(flt); handled {
+		c.notePlan(&queryPlan{mode: "id", estimate: len(ids), ndocs: len(c.docs)})
+		return ids
 	}
-	candidates := c.planLocked(flt)
+	plan := c.planQueryLocked(flt, nil, nil)
+	c.notePlan(plan)
+	return c.execPlanLocked(flt, plan, 0)
+}
+
+// idLookupLocked resolves an _id-pinned filter directly against the
+// primary key map. The second return reports whether the filter was
+// handled (an _id equality on a string value, present or not).
+func (c *Collection) idLookupLocked(flt *query.Filter) ([]string, bool) {
+	if flt == nil {
+		return nil, false
+	}
+	idv, ok := flt.EqualityFields()["_id"]
+	if !ok {
+		return nil, false
+	}
+	id, isStr := idv.(string)
+	if !isStr {
+		return nil, false
+	}
+	if d, exists := c.docs[id]; exists && flt.Matches(d) {
+		return []string{id}, true
+	}
+	return nil, true
+}
+
+// execPlanLocked runs a chosen plan, returning matching ids in insertion
+// order. maxMatches > 0 stops after that many matches — valid whenever
+// the caller wants an insertion-order prefix (no-sort limit pushdown).
+func (c *Collection) execPlanLocked(flt *query.Filter, plan *queryPlan, maxMatches int) []string {
 	var out []string
-	if candidates == nil {
+	if plan.mode != "index" || plan.access == nil {
 		for _, id := range c.order {
 			if flt.Matches(c.docs[id]) {
 				out = append(out, id)
+				if maxMatches > 0 && len(out) >= maxMatches {
+					break
+				}
 			}
 		}
 		return out
 	}
+	candidates := c.candidateIDsLocked(plan.access)
 	// Verify only the candidates, restoring insertion order via the
 	// per-id sequence numbers (cheaper than walking the whole order
 	// slice when the index is selective).
@@ -217,59 +290,12 @@ func (c *Collection) scanLocked(flt *query.Filter) []string {
 	for _, id := range ids {
 		if flt.Matches(c.docs[id]) {
 			out = append(out, id)
+			if maxMatches > 0 && len(out) >= maxMatches {
+				break
+			}
 		}
 	}
 	return out
-}
-
-// planLocked returns the smallest candidate id set derivable from
-// indexes, or nil when no index applies (full scan). Equality and
-// contains constraints resolve to existing hash buckets (no copying);
-// range constraints require materializing an id set, so they are only
-// consulted when no hash bucket applies.
-func (c *Collection) planLocked(flt *query.Filter) map[string]struct{} {
-	if flt == nil || len(c.indexes) == 0 {
-		return nil
-	}
-	var best map[string]struct{}
-	consider := func(set map[string]struct{}) {
-		if set == nil {
-			return
-		}
-		if best == nil || len(set) < len(best) {
-			best = set
-		}
-	}
-	found := false
-	for path, v := range flt.EqualityFields() {
-		if ix, ok := c.indexes[path]; ok {
-			ids := ix.lookup(v)
-			if ids == nil {
-				ids = map[string]struct{}{}
-			}
-			consider(ids)
-			found = true
-		}
-	}
-	for _, fc := range flt.ContainsFields() {
-		if ix, ok := c.indexes[fc.Path]; ok {
-			ids := ix.lookup(fc.Value)
-			if ids == nil {
-				ids = map[string]struct{}{}
-			}
-			consider(ids)
-			found = true
-		}
-	}
-	if found {
-		return best
-	}
-	for _, rc := range flt.RangeFields() {
-		if ix, ok := c.indexes[rc.Path]; ok {
-			consider(ix.rangeLookup(rc))
-		}
-	}
-	return best
 }
 
 // Cursor iterates a result snapshot. Cursors are not safe for concurrent

@@ -1,0 +1,314 @@
+package datastore
+
+// Order-preserving key encoding for sorted secondary indexes.
+//
+// encodeKey renders any document value to a byte string whose bytewise
+// (memcmp) order equals document.Compare order: for all a, b,
+//
+//	bytes.Compare(encodeKey(a), encodeKey(b)) == sign(document.Compare(a, b))
+//
+// so a key-range scan over sorted encoded keys IS an index scan — no
+// per-key value comparisons. Compound keys concatenate component
+// encodings; each component encoding is prefix-free, so tuple order is
+// again plain byte order and an equality prefix is a byte prefix.
+//
+// Layout (first byte is the type tag, mirroring document.Compare's type
+// ranks: null < numbers < strings < documents < arrays < bool < other):
+//
+//	0x01                                null
+//	0x02 <f64-monotone:8> <intpart:9>   number (int64/float64 unified)
+//	0x03 <escaped bytes> 0x00 0x00      string (0x00 escaped as 0x00 0xFF)
+//	0x04 (<key-string enc> <value enc>)* 0x00   document, keys sorted
+//	0x05 (<element enc>)* 0x00          array
+//	0x06 0x00|0x01                      bool
+//	0x07 <escaped fmt.Sprint> 0x00 0x00 other (Compare's fallback order)
+//
+// Numbers need two fields to reproduce compareNumbers exactly. The
+// primary is the value as a float64 with the usual monotone bit flip —
+// correct on its own for float/float pairs, but float64(int64) rounds
+// above 2^53, so numerically distinct int64s can share a primary. The
+// secondary breaks those ties with the exact integer part, 9 bytes so
+// that float values at or above 2^63 (which compareFloatInt orders above
+// every int64) still sort past MaxInt64. Values that Compare as equal
+// (3 and 3.0) produce identical bytes, which is what makes equality
+// lookups a single map probe.
+//
+// NaN caveat: document.Compare treats NaN as equal to every number (it
+// is not a total order there); the encoding instead places NaN
+// deterministically above +Inf. Planner range scans never see NaN
+// bounds from JSON queries, and the fuzz invariant skips NaN inputs.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"matproj/internal/document"
+)
+
+const (
+	keyTagTerm   = 0x00 // component/composite terminator, never starts a value
+	keyTagNull   = 0x01
+	keyTagNumber = 0x02
+	keyTagString = 0x03
+	keyTagDoc    = 0x04
+	keyTagArray  = 0x05
+	keyTagBool   = 0x06
+	keyTagOther  = 0x07
+	// keyTagEnd sorts after every value tag: appending it to an encoded
+	// equality prefix yields an exclusive upper bound for that prefix's
+	// key region.
+	keyTagEnd = 0x08
+)
+
+// keyTagOf returns the type tag a value encodes under.
+func keyTagOf(v any) byte {
+	switch v.(type) {
+	case nil:
+		return keyTagNull
+	case int64, float64, int, float32:
+		return keyTagNumber
+	case string:
+		return keyTagString
+	case map[string]any, document.D:
+		return keyTagDoc
+	case []any:
+		return keyTagArray
+	case bool:
+		return keyTagBool
+	default:
+		return keyTagOther
+	}
+}
+
+// encodeKey appends the order-preserving encoding of v to dst.
+func encodeKey(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, keyTagNull)
+	case int64:
+		return encodeKeyInt(dst, x)
+	case int:
+		return encodeKeyInt(dst, int64(x))
+	case float64:
+		return encodeKeyFloat(dst, x)
+	case float32:
+		return encodeKeyFloat(dst, float64(x))
+	case string:
+		dst = append(dst, keyTagString)
+		return appendEscaped(dst, x)
+	case bool:
+		dst = append(dst, keyTagBool)
+		if x {
+			return append(dst, 0x01)
+		}
+		return append(dst, 0x00)
+	case document.D:
+		return encodeKeyDoc(dst, map[string]any(x))
+	case map[string]any:
+		return encodeKeyDoc(dst, x)
+	case []any:
+		dst = append(dst, keyTagArray)
+		for _, el := range x {
+			dst = encodeKey(dst, el)
+		}
+		return append(dst, keyTagTerm)
+	default:
+		// document.Compare's fallback orders unknown types by their
+		// fmt.Sprint rendering.
+		dst = append(dst, keyTagOther)
+		return appendEscaped(dst, fmt.Sprint(v))
+	}
+}
+
+// encodeKeyString returns encodeKey(v) as a string, the map-key form the
+// ordered index stores.
+func encodeKeyString(v any) string {
+	return string(encodeKey(nil, v))
+}
+
+// appendEscaped writes s with 0x00 escaped as 0x00 0xFF and terminates
+// with 0x00 0x00. The escape keeps byte order ("a" < "a\x00b" because
+// 0x00 0x00 < 0x00 0xFF) and makes the encoding prefix-free.
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+			continue
+		}
+		dst = append(dst, s[i])
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+func encodeKeyDoc(dst []byte, m map[string]any) []byte {
+	dst = append(dst, keyTagDoc)
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// compareDocs interleaves key-string and value comparisons position
+	// by position, fewer-keys-first on a tie; encoding each pair in
+	// order with a terminator below every tag reproduces exactly that.
+	for _, k := range keys {
+		dst = appendEscaped(append(dst, keyTagString), k)
+		dst = encodeKey(dst, m[k])
+	}
+	return append(dst, keyTagTerm)
+}
+
+// monotoneFloatBits maps float64 bit patterns to uint64s whose unsigned
+// order equals IEEE754 numeric order (negatives flipped entirely,
+// positives offset past them).
+func monotoneFloatBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+func encodeKeyInt(dst []byte, v int64) []byte {
+	dst = append(dst, keyTagNumber)
+	dst = binary.BigEndian.AppendUint64(dst, monotoneFloatBits(float64(v)))
+	// Exact integer part: lead 0x00 plus offset-binary int64.
+	dst = append(dst, 0x00)
+	return binary.BigEndian.AppendUint64(dst, uint64(v)^(1<<63))
+}
+
+func encodeKeyFloat(dst []byte, f float64) []byte {
+	dst = append(dst, keyTagNumber)
+	dst = binary.BigEndian.AppendUint64(dst, monotoneFloatBits(f))
+	// Secondary: the saturated exact integer part, mirroring
+	// compareFloatInt. Within a primary tie the float's value is always
+	// an integral double (float64(int64) is integral), so the fraction
+	// never participates — only the integer part can differ.
+	switch {
+	case math.IsNaN(f):
+		// Compare has no consistent answer for NaN; pick a fixed point.
+		dst = append(dst, 0x00)
+		return binary.BigEndian.AppendUint64(dst, 1<<63)
+	case f >= 9.223372036854775808e18: // 2^63: above every int64
+		dst = append(dst, 0x01)
+		return binary.BigEndian.AppendUint64(dst, 0)
+	case f < -9.223372036854775808e18: // below every int64: clamp to MinInt64
+		dst = append(dst, 0x00)
+		return binary.BigEndian.AppendUint64(dst, 0)
+	default:
+		dst = append(dst, 0x00)
+		return binary.BigEndian.AppendUint64(dst, uint64(int64(math.Trunc(f)))^(1<<63))
+	}
+}
+
+// decodeKey decodes one value from b, returning the value and the rest
+// of the buffer. Numbers decode to int64 when the encoded value is an
+// exact integer (so decode(encode(v)) always Compares equal to v, even
+// for int64s beyond 2^53), float64 otherwise. Values encoded under the
+// "other" tag decode to their fmt.Sprint string.
+func decodeKey(b []byte) (any, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("datastore: decodeKey: empty input")
+	}
+	tag, rest := b[0], b[1:]
+	switch tag {
+	case keyTagNull:
+		return nil, rest, nil
+	case keyTagNumber:
+		if len(rest) < 17 {
+			return nil, nil, fmt.Errorf("datastore: decodeKey: short number")
+		}
+		prim := binary.BigEndian.Uint64(rest[:8])
+		var bits uint64
+		if prim&(1<<63) != 0 {
+			bits = prim &^ (1 << 63)
+		} else {
+			bits = ^prim
+		}
+		f := math.Float64frombits(bits)
+		lead := rest[8]
+		sec := int64(binary.BigEndian.Uint64(rest[9:17]) ^ (1 << 63))
+		rest = rest[17:]
+		if lead == 0x00 && !math.IsNaN(f) && f == math.Trunc(f) && float64(sec) == f {
+			return sec, rest, nil
+		}
+		return f, rest, nil
+	case keyTagString, keyTagOther:
+		s, rest, err := decodeEscaped(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, rest, nil
+	case keyTagBool:
+		if len(rest) < 1 {
+			return nil, nil, fmt.Errorf("datastore: decodeKey: short bool")
+		}
+		return rest[0] != 0x00, rest[1:], nil
+	case keyTagArray:
+		out := []any{}
+		for {
+			if len(rest) == 0 {
+				return nil, nil, fmt.Errorf("datastore: decodeKey: unterminated array")
+			}
+			if rest[0] == keyTagTerm {
+				return out, rest[1:], nil
+			}
+			var el any
+			var err error
+			el, rest, err = decodeKey(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, el)
+		}
+	case keyTagDoc:
+		out := document.D{}
+		for {
+			if len(rest) == 0 {
+				return nil, nil, fmt.Errorf("datastore: decodeKey: unterminated document")
+			}
+			if rest[0] == keyTagTerm {
+				return out, rest[1:], nil
+			}
+			if rest[0] != keyTagString {
+				return nil, nil, fmt.Errorf("datastore: decodeKey: document key must be a string")
+			}
+			k, r2, err := decodeEscaped(rest[1:])
+			if err != nil {
+				return nil, nil, err
+			}
+			var v any
+			v, rest, err = decodeKey(r2)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[k] = v
+		}
+	default:
+		return nil, nil, fmt.Errorf("datastore: decodeKey: bad tag 0x%02x", tag)
+	}
+}
+
+func decodeEscaped(b []byte) (string, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		if b[i] != 0x00 {
+			out = append(out, b[i])
+			continue
+		}
+		if i+1 >= len(b) {
+			return "", nil, fmt.Errorf("datastore: decodeKey: unterminated string")
+		}
+		switch b[i+1] {
+		case 0x00:
+			return string(out), b[i+2:], nil
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		default:
+			return "", nil, fmt.Errorf("datastore: decodeKey: bad escape 0x%02x", b[i+1])
+		}
+	}
+	return "", nil, fmt.Errorf("datastore: decodeKey: unterminated string")
+}

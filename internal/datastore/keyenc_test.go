@@ -1,0 +1,168 @@
+package datastore
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"matproj/internal/document"
+)
+
+// sign normalizes a comparison result to -1/0/+1.
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+// keyencValues is a cross-section of the value space the encoder must
+// order: every type rank, numeric edge cases around 2^53/2^63, escape-
+// sensitive strings, and nested composites.
+func keyencValues() []any {
+	return []any{
+		nil,
+		int64(math.MinInt64), int64(-1), int64(0), int64(1), int64(3),
+		int64(1 << 53), int64(1<<53) + 1, int64(1 << 60), int64(math.MaxInt64),
+		float64(-1e300), -2.5, 0.0, 0.5, 3.0, 3.5, float64(1 << 53),
+		9.3e18, 1e300, math.Inf(-1), math.Inf(1),
+		-9.223372036854775808e18, 9.223372036854775808e18,
+		"", "a", "a\x00b", "a\x00\xffc", "abc", "b",
+		document.D{}, document.D{"a": int64(1)}, document.D{"a": int64(2)}, document.D{"b": int64(1)},
+		[]any{}, []any{int64(1)}, []any{int64(1), "x"}, []any{"Li", "O"},
+		false, true,
+	}
+}
+
+func TestKeyEncodingOrderMatchesCompare(t *testing.T) {
+	vals := keyencValues()
+	for i, a := range vals {
+		for j, b := range vals {
+			ea, eb := encodeKey(nil, a), encodeKey(nil, b)
+			if got, want := sign(bytes.Compare(ea, eb)), sign(document.Compare(a, b)); got != want {
+				t.Errorf("order(%v [%d], %v [%d]): bytes %d, Compare %d", a, i, b, j, got, want)
+			}
+		}
+	}
+}
+
+func TestKeyEncodingEqualValuesShareBytes(t *testing.T) {
+	pairs := [][2]any{
+		{int64(3), 3.0},
+		{int64(0), 0.0},
+		{int64(1 << 60), float64(1 << 60)},
+		{int64(math.MinInt64), -9.223372036854775808e18},
+		{document.D{"a": int64(3)}, document.D{"a": 3.0}},
+		{[]any{int64(3)}, []any{3.0}},
+	}
+	for _, p := range pairs {
+		if document.Compare(p[0], p[1]) != 0 {
+			t.Fatalf("premise: Compare(%v, %v) != 0", p[0], p[1])
+		}
+		if !bytes.Equal(encodeKey(nil, p[0]), encodeKey(nil, p[1])) {
+			t.Errorf("Compare-equal values %v and %v encode differently", p[0], p[1])
+		}
+	}
+}
+
+func TestKeyEncodingRoundTrip(t *testing.T) {
+	for _, v := range keyencValues() {
+		enc := encodeKey(nil, v)
+		dec, rest, err := decodeKey(enc)
+		if err != nil {
+			t.Errorf("decode(%v): %v", v, err)
+			continue
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode(%v): %d trailing bytes", v, len(rest))
+		}
+		if document.Compare(dec, v) != 0 {
+			t.Errorf("round trip %v -> %v: Compare != 0", v, dec)
+		}
+	}
+}
+
+func TestKeyEncodingPrefixFree(t *testing.T) {
+	// No encoding may be a strict prefix of another: compound keys
+	// concatenate components, so a prefix collision would corrupt tuple
+	// order.
+	vals := keyencValues()
+	for i, a := range vals {
+		for j, b := range vals {
+			if document.Compare(a, b) == 0 {
+				continue
+			}
+			ea, eb := encodeKey(nil, a), encodeKey(nil, b)
+			if len(ea) < len(eb) && bytes.HasPrefix(eb, ea) {
+				t.Errorf("enc(%v [%d]) is a prefix of enc(%v [%d])", a, i, b, j)
+			}
+		}
+	}
+}
+
+// FuzzKeyEncodingOrder fuzzes the core planner invariant: bytewise order
+// of encoded keys equals document.Compare order, and decode(encode(v))
+// Compares equal to v. Values arrive as JSON (the only way user data
+// enters the store), so every reachable shape — mixed int64/float64,
+// strings with embedded zero bytes via escapes, nested docs/arrays,
+// nulls, bools — is in scope. NaN cannot appear in JSON, matching the
+// encoding's documented NaN caveat.
+func FuzzKeyEncodingOrder(f *testing.F) {
+	seeds := [][2]string{
+		{`null`, `0`},
+		{`3`, `3.0`},
+		{`3.5`, `4`},
+		{`9007199254740993`, `9007199254740992.0`},
+		{`9223372036854775807`, `9.3e18`},
+		{`-9223372036854775808`, `-9.3e18`},
+		{`"a"`, `"a\u0000b"`},
+		{`""`, `"b"`},
+		{`{"a": 1}`, `{"a": 2}`},
+		{`{"a": 1}`, `{"b": 1}`},
+		{`[1, "x"]`, `[1]`},
+		{`["Li", "O"]`, `["Li", "O", "Fe"]`},
+		{`true`, `false`},
+		{`{"a": [1, {"b": null}]}`, `{"a": [1, {"b": 0}]}`},
+		{`1e300`, `-1e300`},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, aJSON, bJSON string) {
+		var rawA, rawB any
+		da := json.NewDecoder(bytes.NewReader([]byte(aJSON)))
+		da.UseNumber()
+		if err := da.Decode(&rawA); err != nil {
+			t.Skip()
+		}
+		db := json.NewDecoder(bytes.NewReader([]byte(bJSON)))
+		db.UseNumber()
+		if err := db.Decode(&rawB); err != nil {
+			t.Skip()
+		}
+		a := document.Normalize(rawA)
+		b := document.Normalize(rawB)
+
+		ea, eb := encodeKey(nil, a), encodeKey(nil, b)
+		if got, want := sign(bytes.Compare(ea, eb)), sign(document.Compare(a, b)); got != want {
+			t.Fatalf("order(%s, %s): bytes %d, Compare %d", aJSON, bJSON, got, want)
+		}
+		for _, v := range []any{a, b} {
+			enc := encodeKey(nil, v)
+			dec, rest, err := decodeKey(enc)
+			if err != nil {
+				t.Fatalf("decode(enc(%v)): %v", v, err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("decode(enc(%v)): trailing bytes", v)
+			}
+			if document.Compare(dec, v) != 0 {
+				t.Fatalf("round trip %v -> %v: Compare != 0", v, dec)
+			}
+		}
+	})
+}

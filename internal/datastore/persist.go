@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -44,6 +45,14 @@ const (
 	journalUpdate journalOp = "u"
 	journalRemove journalOp = "r"
 	journalDrop   journalOp = "d"
+	// journalIndex / journalIndexDrop record index definitions (hash or
+	// ordered) so crash recovery and replica catch-up rebuild them. The
+	// record's ID is the index name; Doc carries the definition payload
+	// ({"path": p} for hash, {"ordered": true, "paths": [...]} for
+	// ordered). The indexed data itself is never journaled — replay
+	// re-creates the definition and backfills from the documents.
+	journalIndex     journalOp = "x"
+	journalIndexDrop journalOp = "X"
 	// journalMeta carries replication bookkeeping, not data: the first
 	// line of every snapshot records the replication generation the
 	// snapshot covers, so replay can restore the log's floor.
@@ -59,6 +68,49 @@ type journalRecord struct {
 	// Gens are minted under the journal mutex, so journal file order is
 	// generation order. Zero on legacy (pre-replication) records.
 	Gen uint64 `json:"g,omitempty"`
+}
+
+// indexDef is the Doc payload of journalIndex / journalIndexDrop records.
+type indexDef struct {
+	Ordered bool     `json:"ordered,omitempty"`
+	Path    string   `json:"path,omitempty"`
+	Paths   []string `json:"paths,omitempty"`
+	Name    string   `json:"name,omitempty"`
+}
+
+// indexDefRecordsLocked renders the collection's index definitions as
+// journal records (hash indexes first, then ordered, both sorted for
+// deterministic snapshots). Caller holds c.mu.
+func (c *Collection) indexDefRecordsLocked() []journalRecord {
+	var out []journalRecord
+	mk := func(name string, def document.D) (journalRecord, error) {
+		b, err := def.ToJSON()
+		if err != nil {
+			return journalRecord{}, err
+		}
+		return journalRecord{Op: journalIndex, Collection: c.name, ID: name, Doc: b}, nil
+	}
+	hashPaths := make([]string, 0, len(c.indexes))
+	for p := range c.indexes {
+		hashPaths = append(hashPaths, p)
+	}
+	sort.Strings(hashPaths)
+	for _, p := range hashPaths {
+		if rec, err := mk(p, hashIndexDefDoc(p)); err == nil {
+			out = append(out, rec)
+		}
+	}
+	ordNames := make([]string, 0, len(c.ordered))
+	for n := range c.ordered {
+		ordNames = append(ordNames, n)
+	}
+	sort.Strings(ordNames)
+	for _, n := range ordNames {
+		if rec, err := mk(n, orderedIndexDefDoc(c.ordered[n].paths)); err == nil {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // JournalFaults lets a fault injector interfere with journal appends.
@@ -444,6 +496,37 @@ func applyRecord(s *Store, rec journalRecord) error {
 		c.mu.Lock()
 		c.removeLocked(rec.ID)
 		c.mu.Unlock()
+	case journalIndex, journalIndexDrop:
+		var def indexDef
+		if len(rec.Doc) > 0 {
+			if err := json.Unmarshal(rec.Doc, &def); err != nil {
+				return fmt.Errorf("index def: %w", err)
+			}
+		}
+		c.mu.Lock()
+		if rec.Op == journalIndex {
+			switch {
+			case def.Ordered && len(def.Paths) > 0:
+				c.ensureOrderedLocked(def.Paths)
+			case !def.Ordered && def.Path != "":
+				c.ensureHashLocked(def.Path)
+			}
+		} else {
+			if def.Ordered {
+				name := def.Name
+				if name == "" {
+					name = rec.ID
+				}
+				delete(c.ordered, name)
+			} else {
+				p := def.Path
+				if p == "" {
+					p = rec.ID
+				}
+				delete(c.indexes, p)
+			}
+		}
+		c.mu.Unlock()
 	case journalDrop:
 		s.mu.Lock()
 		delete(s.collections, rec.Collection)
@@ -573,6 +656,18 @@ func (j *journal) snapshot(s *Store) error {
 func snapshotCollection(w *bufio.Writer, c *Collection) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	// Index definitions first, so replay has them in place before the
+	// documents arrive (backfill-on-create is then a no-op and every
+	// insert maintains the index incrementally).
+	for _, rec := range c.indexDefRecordsLocked() {
+		rb, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("datastore: snapshot index encode: %w", err)
+		}
+		if _, err := w.Write(encodeLine(rb)); err != nil {
+			return fmt.Errorf("datastore: snapshot write: %w", err)
+		}
+	}
 	for _, id := range c.order {
 		b, err := c.docs[id].ToJSON()
 		if err != nil {

@@ -316,6 +316,18 @@ func (s *Store) ReplSnapshotEntries() ([][]byte, uint64, error) {
 	var out [][]byte
 	for _, c := range colls {
 		c.mu.RLock()
+		// Index definitions first, mirroring the on-disk snapshot layout:
+		// the follower re-creates each index before any documents arrive,
+		// so its indexes are maintained incrementally from the same
+		// stream that builds its data.
+		for _, rec := range c.indexDefRecordsLocked() {
+			line, err := frameRecord(rec)
+			if err != nil {
+				c.mu.RUnlock()
+				return nil, head, err
+			}
+			out = append(out, line)
+		}
 		for _, id := range c.order {
 			b, err := c.docs[id].ToJSON()
 			if err != nil {

@@ -43,6 +43,9 @@ const (
 	// ConstraintContains means the field (an array) must contain a value
 	// ($all members, $in single-element).
 	ConstraintContains
+	// ConstraintIn means the field's value must equal one of a list of
+	// values ($in), usable as a set of point lookups by ordered indexes.
+	ConstraintIn
 )
 
 // fieldConstraint records one index-usable constraint.
@@ -54,6 +57,8 @@ type fieldConstraint struct {
 	Min, Max         any
 	MinOpen, MaxOpen bool // true when the bound is exclusive
 	hasMin, hasMax   bool
+	// Values holds the $in membership list (ConstraintIn only).
+	Values []any
 }
 
 // matcher is the compiled form of one predicate.
@@ -118,6 +123,24 @@ func (f *Filter) ContainsFields() []struct {
 				Path  string
 				Value any
 			}{c.Path, c.Value})
+		}
+	}
+	return out
+}
+
+// InConstraint describes a $in membership constraint: the field must
+// equal one of Values. Usable by ordered indexes as point lookups.
+type InConstraint struct {
+	Path   string
+	Values []any
+}
+
+// InFields returns dotted paths constrained by $in membership lists.
+func (f *Filter) InFields() []InConstraint {
+	var out []InConstraint
+	for _, c := range f.fields {
+		if c.Kind == ConstraintIn {
+			out = append(out, InConstraint{Path: c.Path, Values: c.Values})
 		}
 	}
 	return out
@@ -331,6 +354,7 @@ func compileOperators(path string, ops map[string]any) (valuePred, []fieldConstr
 			}
 			if op == "$in" {
 				preds = append(preds, inPred{arr})
+				constraints = append(constraints, fieldConstraint{Path: path, Kind: ConstraintIn, Values: arr})
 			} else {
 				preds = append(preds, notPred{inPred{arr}})
 			}

@@ -46,6 +46,11 @@ type Collection interface {
 	UpdateMany(filter, update document.D) (datastore.UpdateResult, error)
 	Insert(doc document.D) (string, error)
 	Aggregate(pipeline []document.D) ([]document.D, error)
+	// Explain returns the query planner's decision for the filter/opts
+	// pair without executing the query (chosen index, key bounds,
+	// residual filter, sort satisfaction). Routed backends scatter it so
+	// the response reports every shard's plan.
+	Explain(filter document.D, opts *datastore.FindOpts) (document.D, error)
 	// Generation reports the collection's write generation (see
 	// datastore.Collection.Generation): it changes after every
 	// acknowledged write, and the read-path result cache and the REST
@@ -451,6 +456,19 @@ func (e *Engine) Find(user, collection string, filter document.D, opts *datastor
 		o = &copyOpts
 	}
 	coll := e.store.C(e.physical(collection))
+	// $explain in the filter flips the query into plan-only mode: the
+	// planner's decision comes back as the single result document and
+	// nothing is executed (or cached — plans describe live index state).
+	if ev, hasExplain := f["$explain"]; hasExplain {
+		delete(f, "$explain")
+		if explainTruthy(ev) {
+			plan, perr := coll.Explain(f, o)
+			if perr != nil {
+				return nil, perr
+			}
+			return []document.D{plan}, nil
+		}
+	}
 	rc := e.cache.Load()
 	if rc == nil {
 		return coll.FindAll(f, o)
@@ -471,6 +489,50 @@ func (e *Engine) Find(user, collection string, filter document.D, opts *datastor
 		return nil, err
 	}
 	return copyDocs(v.([]document.D)), nil
+}
+
+// explainTruthy interprets the $explain flag value: false, nil and
+// numeric zero are off, everything else is on.
+func explainTruthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	default:
+		return true
+	}
+}
+
+// Explain runs the sanitizing/aliasing pipeline exactly as Find would,
+// then asks the backend for the planner's decision instead of results.
+func (e *Engine) Explain(user, collection string, filter document.D, opts *datastore.FindOpts) (plan document.D, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("explain", collection, filter, start, 0, err) }()
+	if err := e.checkRate(user); err != nil {
+		return nil, err
+	}
+	f, err := e.translate(collection, document.NormalizeDoc(filter))
+	if err != nil {
+		return nil, err
+	}
+	delete(f, "$explain")
+	var o *datastore.FindOpts
+	if opts != nil {
+		copyOpts := *opts
+		p, err := e.translate(collection, document.NormalizeDoc(opts.Projection))
+		if err != nil {
+			return nil, err
+		}
+		copyOpts.Projection = p
+		copyOpts.Sort = e.translateSort(collection, opts.Sort)
+		o = &copyOpts
+	}
+	return e.store.C(e.physical(collection)).Explain(f, o)
 }
 
 func (e *Engine) translateSort(collection string, sortSpec []string) []string {

@@ -229,6 +229,11 @@ func identifierFilter(identifier string) (document.D, error) {
 // opts the read into bounded-staleness follower routing on a cluster:
 // the answer may lag the newest acknowledged write by at most that
 // many write generations. 0 keeps the read on primaries.
+// Explain flips the request into plan-only mode: the response carries
+// the query planner's decision (chosen index, bounds, residual filter)
+// instead of documents — equivalent to putting $explain in the criteria.
+// Hint names an index the planner must use (diagnostics; the result set
+// is identical either way).
 type queryRequest struct {
 	Criteria     map[string]any `json:"criteria"`
 	Properties   []string       `json:"properties"`
@@ -236,6 +241,8 @@ type queryRequest struct {
 	Skip         int            `json:"skip"`
 	Sort         []string       `json:"sort"`
 	MaxStaleness int            `json:"max_staleness"`
+	Explain      bool           `json:"explain"`
+	Hint         string         `json:"hint"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +255,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return
 	}
-	opts := &datastore.FindOpts{Limit: req.Limit, Skip: req.Skip, Sort: req.Sort, MaxStaleness: req.MaxStaleness}
+	opts := &datastore.FindOpts{Limit: req.Limit, Skip: req.Skip, Sort: req.Sort, MaxStaleness: req.MaxStaleness, Hint: req.Hint}
 	if len(req.Properties) > 0 {
 		proj := document.D{}
 		for _, p := range req.Properties {
@@ -259,6 +266,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			proj[field] = 1
 		}
 		opts.Projection = proj
+	}
+	if req.Explain {
+		plan, err := s.Engine.Explain(email, s.MaterialsCollection, document.D(req.Criteria), opts)
+		if err != nil {
+			s.writeEngineErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: []any{map[string]any(plan)}})
+		return
 	}
 	docs, err := s.Engine.Find(email, s.MaterialsCollection, document.D(req.Criteria), opts)
 	if err != nil {

@@ -26,11 +26,20 @@ go test -race ./...
 echo "stress pass (-race -count=2: cluster, fireworks, rcache, queryengine)..."
 go test -race -count=2 ./internal/cluster/ ./internal/fireworks/ ./internal/rcache/ ./internal/queryengine/
 
+# Planner correctness oracle: >=1200 seeded corpus/query pairs where the
+# planner-chosen execution must match a naive scan-then-sort twin
+# exactly (ids, order, projections, counts). Runs under -race because
+# readers rebuilding the lazy sorted key list share the collection read
+# lock. Zero violations is the gate.
+echo "scan-vs-index oracle (-race)..."
+go test -race -count=1 -run '^TestOracle' ./internal/datastore/
+
 FUZZTIME="${FUZZTIME:-5s}"
 echo "fuzz smoke (${FUZZTIME} per target)..."
 go test ./internal/query/ -run '^$' -fuzz '^FuzzFilterCompileMatch$' -fuzztime "$FUZZTIME"
 go test ./internal/query/ -run '^$' -fuzz '^FuzzUpdateApply$' -fuzztime "$FUZZTIME"
 go test ./internal/document/ -run '^$' -fuzz '^FuzzDocumentPath$' -fuzztime "$FUZZTIME"
+go test ./internal/datastore/ -run '^$' -fuzz '^FuzzKeyEncodingOrder$' -fuzztime "$FUZZTIME"
 
 # Cluster e2e smoke: two real shard-node processes, a router process that
 # loads the corpus over the wire, and a routed query through the public
@@ -43,6 +52,7 @@ N1=$!
 "$TMP/mpserve" -role node -addr 127.0.0.1:19802 >"$TMP/n2.log" 2>&1 &
 N2=$!
 "$TMP/mpserve" -role router -addr 127.0.0.1:19800 -shards 2 -materials 20 \
+    -ordered-index materials:band_gap \
     -peers http://127.0.0.1:19801,http://127.0.0.1:19802 >"$TMP/r.log" 2>&1 &
 R=$!
 trap 'kill $N1 $N2 $R ${S:-} ${F1:-} ${F2:-} ${F3:-} ${F4:-} ${F3B:-} ${FR:-} 2>/dev/null || true; rm -rf "$TMP"' EXIT
@@ -59,7 +69,16 @@ curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
     || { echo "check: routed query failed"; tail "$TMP/r.log"; exit 1; }
 curl -fsS http://127.0.0.1:19800/metrics | grep -q 'cluster_scatter_total' \
     || { echo "check: router metrics missing cluster counters"; exit 1; }
-echo "cluster smoke: routed query + metrics OK"
+# Routed $explain: the REST explain flag must come back as the merged
+# per-shard plan document, and with -ordered-index materials:band_gap
+# above, a band_gap range query must plan as an index read on every
+# shard (merged mode "index", not "mixed" or "scan").
+curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
+    -d '{"criteria":{"band_gap":{"$gte":1.0,"$lt":3.0}},"explain":true}' \
+    http://127.0.0.1:19800/rest/v1/query \
+    | jq -e '.valid_response == true and .response[0].sharded == true and .response[0].mode == "index"' >/dev/null \
+    || { echo "check: routed \$explain did not report an index plan"; tail "$TMP/r.log"; exit 1; }
+echo "cluster smoke: routed query + metrics + \$explain OK"
 
 # Result-cache e2e smoke: a standalone server, the same GET twice (the
 # second must be a cache hit per /metrics), then a conditional GET with
