@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the all-or-nothing rule for sync/atomic: a field
+// (or package var) whose address is handed to an atomic function
+// anywhere in the program must never be read or written plainly
+// elsewhere — the plain access races with the atomic one, and the race
+// detector only catches the schedules it happens to see. The check is
+// interprocedural by construction: the atomic-use index spans every
+// package, the plain accesses are reported wherever they occur.
+//
+// A second rule catches the subtler time-of-check bug the typed
+// atomics (atomic.Uint64 and friends) still allow: loading the same
+// atomic twice inside one decision (the if's init/cond and again in
+// its body), where the value may have moved between loads. Reuse the
+// first load.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly; one decision gets one load",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	rel := p.Cfg.Rel(p.Pkg.Path)
+	if !inScope(rel, p.Cfg.AtomicScope) {
+		return
+	}
+	prog := p.Prog
+	prog.ensure()
+	if len(prog.atomicFn) > 0 {
+		checkPlainAccess(p, prog)
+	}
+	checkDoubleLoad(p)
+}
+
+// checkPlainAccess reports every non-atomic use of an object in the
+// program-wide atomic index. The atomic call sites themselves, struct
+// field declarations, and composite-literal keys are exempt.
+func checkPlainAccess(p *Pass, prog *Program) {
+	for _, f := range p.Pkg.Files {
+		pm := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			at, tracked := prog.atomicFn[obj]
+			if !tracked {
+				return true
+			}
+			if isAtomicOperand(p.Pkg, pm, id) || isCompositeKey(pm, id) {
+				return true
+			}
+			p.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic at %s; this plain access races with it — use the atomic API everywhere",
+				id.Name, posString(at))
+			return true
+		})
+	}
+}
+
+// isAtomicOperand reports whether id is (part of) the &x operand of a
+// sync/atomic function call.
+func isAtomicOperand(pkg *Package, pm parentMap, id *ast.Ident) bool {
+	for cur := ast.Node(id); cur != nil; cur = pm[cur] {
+		un, ok := cur.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		call, ok := pm[un].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := callee(pkg.Info, call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && recvType(fn) == nil
+	}
+	return false
+}
+
+// isCompositeKey reports whether id is the field name of a
+// composite-literal element (T{field: v}), which is initialization
+// before publication, not an access.
+func isCompositeKey(pm parentMap, id *ast.Ident) bool {
+	kv, ok := pm[id].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, inLit := pm[kv].(*ast.CompositeLit)
+	return inLit
+}
+
+// checkDoubleLoad flags two atomic loads of the same expression inside
+// one if-decision: one in the init/cond, another in the cond, body, or
+// else branch. Between the two loads the value may change, so the
+// branch taken and the value used disagree.
+func checkDoubleLoad(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			first := map[string]token.Pos{}
+			collect := func(n ast.Node, record bool) {
+				if n == nil {
+					return
+				}
+				ast.Inspect(n, func(m ast.Node) bool {
+					if _, isIf := m.(*ast.IfStmt); isIf && m != n {
+						return false // nested ifs get their own check
+					}
+					if _, isLit := m.(*ast.FuncLit); isLit {
+						return false
+					}
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					key, ok := atomicLoadKey(p.Pkg, call)
+					if !ok {
+						return true
+					}
+					if prev, seen := first[key]; seen && prev < call.Pos() {
+						p.Reportf(call.Pos(),
+							"atomic %s is loaded again inside the same decision (first load at %s); the value may have changed between loads — reuse the first",
+							key, posString(p.Pkg.Fset.Position(prev)))
+					} else if record {
+						first[key] = call.Pos()
+					}
+					return true
+				})
+			}
+			collect(ifStmt.Init, true)
+			collect(ifStmt.Cond, true)
+			collect(ifStmt.Body, false)
+			if ifStmt.Else != nil {
+				if _, isIf := ifStmt.Else.(*ast.IfStmt); !isIf {
+					collect(ifStmt.Else, false)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicLoadKey recognizes a typed-atomic x.Load() or a
+// atomic.LoadT(&x) call, returning a stable expression key.
+func atomicLoadKey(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := callee(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if recvType(fn) != nil {
+		if fn.Name() != "Load" {
+			return "", false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		return types.ExprString(sel.X), true
+	}
+	switch fn.Name() {
+	case "LoadInt32", "LoadInt64", "LoadUint32", "LoadUint64", "LoadPointer", "LoadUintptr":
+		if len(call.Args) == 1 {
+			if un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && un.Op == token.AND {
+				return types.ExprString(un.X), true
+			}
+		}
+	}
+	return "", false
+}

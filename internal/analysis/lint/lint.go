@@ -76,7 +76,11 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	Cfg      *Config
-	diags    *[]Diagnostic
+	// Prog is the shared interprocedural index (call graph, summaries)
+	// over every package in the run. Built lazily on first use, so the
+	// intraprocedural analyzers pay nothing for it.
+	Prog  *Program
+	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -106,6 +110,20 @@ type Config struct {
 	LockScope []string
 	// WrapScope lists prefixes where wrapcheck applies.
 	WrapScope []string
+	// LockOrderScope lists prefixes where lockorder applies.
+	LockOrderScope []string
+	// GoroScope lists prefixes where goroleak applies.
+	GoroScope []string
+	// AtomicScope lists prefixes where atomicmix applies.
+	AtomicScope []string
+	// GenScope lists prefixes where gendiscipline applies.
+	GenScope []string
+	// GenCollections are the generation-counted container shapes
+	// gendiscipline enforces (see that analyzer's doc).
+	GenCollections []GenCollection
+	// GenPairs are the write-method/bump-method pairings gendiscipline
+	// enforces on routed write paths.
+	GenPairs []GenPair
 }
 
 // DefaultConfig is the policy for this repository.
@@ -121,6 +139,24 @@ func DefaultConfig(modulePath string) *Config {
 		AliasScope: []string{"internal"},
 		LockScope:  []string{"internal/datastore", "internal/cluster", "internal/fireworks"},
 		WrapScope:  []string{"internal/cluster", "internal/restapi"},
+		// The interprocedural suite covers all of internal/; the
+		// generation protocol only has meaning where the datastore,
+		// the query engine, and the router meet.
+		LockOrderScope: []string{"internal"},
+		GoroScope:      []string{"internal"},
+		AtomicScope:    []string{"internal"},
+		GenScope:       []string{"internal/datastore", "internal/queryengine", "internal/cluster"},
+		GenCollections: []GenCollection{{
+			TypeName:   "Collection",
+			LockField:  "mu",
+			BumpMethod: "bumpGenLocked",
+			DataFields: []string{"docs", "order", "seq", "seqNext", "indexes", "ordered", "bytes"},
+		}},
+		GenPairs: []GenPair{{
+			TypeName:    "Router",
+			WriteMethod: "writeOnGroup",
+			BumpMethod:  "bumpGen",
+		}},
 	}
 }
 
@@ -144,7 +180,9 @@ func inScope(rel string, prefixes []string) bool {
 	return false
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the six
+// intraprocedural checks from PR 4, then the four interprocedural ones
+// built on the shared call-graph layer (callgraph.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		ClockDiscipline,
@@ -153,6 +191,10 @@ func Analyzers() []*Analyzer {
 		DocAliasing,
 		LockHeld,
 		WrapCheck,
+		LockOrder,
+		GoroLeak,
+		GenDiscipline,
+		AtomicMix,
 	}
 }
 
@@ -195,11 +237,17 @@ func Select(all []*Analyzer, only, skip []string) ([]*Analyzer, error) {
 
 // Run applies the analyzers to one package and returns surviving
 // diagnostics: suppression directives are honored, malformed ones are
-// reported under the pseudo-analyzer "lint".
+// reported under the pseudo-analyzer "lint". The interprocedural
+// analyzers see a single-package Program — fixtures stay
+// self-contained; use RunAll/RunProgram for whole-module analysis.
 func Run(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	return runOne(NewProgram([]*Package{pkg}, cfg), pkg, cfg, analyzers)
+}
+
+func runOne(prog *Program, pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg, diags: &diags}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Cfg: cfg, Prog: prog, diags: &diags}
 		a.Run(pass)
 	}
 	idx, bad := buildIgnoreIndex(pkg)
@@ -226,12 +274,20 @@ func Run(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 	return kept
 }
 
-// RunAll runs the analyzers over every package and concatenates the
-// results.
+// RunAll runs the analyzers over every package with one shared
+// interprocedural Program and concatenates the results.
 func RunAll(pkgs []*Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(NewProgram(pkgs, cfg), pkgs, analyzers)
+}
+
+// RunProgram runs the analyzers over the report packages against an
+// existing Program, which may index a superset (mplint builds the
+// Program over the whole module so package patterns narrow reporting,
+// not the interprocedural horizon).
+func RunProgram(prog *Program, report []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, p := range pkgs {
-		out = append(out, Run(p, cfg, analyzers)...)
+	for _, p := range report {
+		out = append(out, runOne(prog, p, prog.Cfg, analyzers)...)
 	}
 	return out
 }
@@ -244,6 +300,42 @@ type ignoreDirective struct {
 	line      int
 	analyzers map[string]bool
 	wholeFile bool
+	reason    string
+	pos       token.Position
+}
+
+// Ignore is one active suppression directive, for review tooling
+// (mplint -ignored).
+type Ignore struct {
+	Pos       token.Position
+	Analyzers []string
+	WholeFile bool
+	Reason    string
+}
+
+// Ignores lists every well-formed suppression directive in pkg, sorted
+// by position. Malformed directives are not included — running the
+// suite reports those.
+func Ignores(pkg *Package) []Ignore {
+	idx, _ := buildIgnoreIndex(pkg)
+	var out []Ignore
+	for _, dirs := range idx.byFile {
+		for _, d := range dirs {
+			names := make([]string, 0, len(d.analyzers))
+			for n := range d.analyzers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			out = append(out, Ignore{Pos: d.pos, Analyzers: names, WholeFile: d.wholeFile, Reason: d.reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }
 
 type ignoreIndex struct {
@@ -285,6 +377,8 @@ func buildIgnoreIndex(pkg *Package) (*ignoreIndex, []Diagnostic) {
 					line:      pos.Line,
 					analyzers: names,
 					wholeFile: m[1] == "file-ignore",
+					reason:    strings.TrimSpace(m[4]),
+					pos:       pos,
 				})
 			}
 		}

@@ -155,6 +155,10 @@ func TestGoldenFixtures(t *testing.T) {
 		{"lockheld", "lockheld", "matproj/internal/cluster/lintfixture"},
 		{"wrapcheck", "wrapcheck", "matproj/internal/cluster/lintfixture"},
 		{"suppress", "clockdiscipline", "matproj/internal/fireworks/lintfixture"},
+		{"lockorder", "lockorder", "matproj/internal/cluster/lintfixture"},
+		{"goroleak", "goroleak", "matproj/internal/cluster/lintfixture"},
+		{"gendiscipline", "gendiscipline", "matproj/internal/datastore/lintfixture"},
+		{"atomicmix", "atomicmix", "matproj/internal/cluster/lintfixture"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

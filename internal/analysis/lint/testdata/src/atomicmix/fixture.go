@@ -1,0 +1,53 @@
+// Golden fixture for the atomicmix analyzer, loaded as if it lived in
+// internal/cluster (in scope). One field is touched through sync/atomic
+// in one function and plainly elsewhere — the mixed-access race — and
+// one typed atomic is loaded twice inside a single decision.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	n    int64
+	hits atomic.Uint64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counters) badRead() int64 {
+	return c.n // want `n is accessed with sync/atomic at fixture\.go:\d+; this plain access races`
+}
+
+func (c *counters) badWrite() {
+	c.n = 0 // want `n is accessed with sync/atomic at fixture\.go:\d+; this plain access races`
+}
+
+func (c *counters) okAtomic() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Composite-literal keys are initialization, not access.
+func newCounters() *counters {
+	return &counters{n: 0}
+}
+
+func (c *counters) badDoubleLoad(use func(uint64)) {
+	if c.hits.Load() > 0 {
+		use(c.hits.Load()) // want `atomic c\.hits is loaded again inside the same decision \(first load at fixture\.go:\d+\)`
+	}
+}
+
+func (c *counters) okSingleLoad(use func(uint64)) {
+	if h := c.hits.Load(); h > 0 {
+		use(h)
+	}
+}
+
+// A second decision is a second load: allowed.
+func (c *counters) okSeparateDecisions(use func(uint64)) {
+	if c.hits.Load() == 0 {
+		return
+	}
+	use(c.hits.Load())
+}

@@ -1,0 +1,82 @@
+// Golden fixture for the goroleak analyzer, loaded as if it lived in
+// internal/cluster (in scope). Each leak shape the analyzer proves:
+// a ticker-drain goroutine with no exit, a named spinner, an opaque
+// func value, and an undeferred WaitGroup.Done past a dynamic call.
+// The ctx-select and closed-channel drains must not be reported.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// leakedTicker drains a ticker forever: nothing closes tick.C and there
+// is no other exit, so the goroutine outlives every owner.
+func leakedTicker(tick *time.Ticker) {
+	go func() { // want `goroutine never terminates`
+		for range tick.C {
+			work()
+		}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func leakedNamed() {
+	go spin() // want `goroutine spin never terminates`
+}
+
+func launch(f func()) {
+	go f() // want `goroutine target is a func value`
+}
+
+// okCtx exits through the context's Done channel: provable.
+func okCtx(ctx context.Context, tick *time.Ticker) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				work()
+			}
+		}
+	}()
+}
+
+// okClosed ranges over a channel this package closes: provable.
+func okClosed() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+	close(ch)
+}
+
+type flight struct {
+	wg sync.WaitGroup
+}
+
+// bad skips Done when compute panics: every waiter parks forever.
+func (f *flight) bad(compute func() int) int {
+	f.wg.Add(1)
+	v := compute()
+	f.wg.Done() // want `f\.wg\.Done\(\) is skipped if the call at fixture\.go:\d+ panics`
+	return v
+}
+
+// good defers the Done: panic-safe.
+func (f *flight) good(compute func() int) int {
+	f.wg.Add(1)
+	defer f.wg.Done()
+	return compute()
+}

@@ -1,0 +1,73 @@
+// Golden fixture for the lockorder analyzer, loaded as if it lived in
+// internal/cluster (in scope). Two lock classes acquired in opposite
+// orders on two paths — the canonical AB/BA deadlock — plus a
+// self-cycle on one class through two instances. The gamma/delta pair
+// is always taken in one order and must not be reported.
+package fixture
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+type world struct {
+	a alpha
+	b beta
+}
+
+func (w *world) abPath() {
+	w.a.mu.Lock()
+	w.b.mu.Lock() // want `lock-order cycle`
+	w.b.mu.Unlock()
+	w.a.mu.Unlock()
+}
+
+// baPath takes the reverse edge through a call, so the cycle is only
+// visible interprocedurally.
+func (w *world) baPath() {
+	w.b.mu.Lock()
+	w.lockA()
+	w.b.mu.Unlock()
+}
+
+func (w *world) lockA() {
+	w.a.mu.Lock()
+	w.a.mu.Unlock()
+}
+
+// node locks two instances of one class: a self-cycle unless every
+// traversal agrees on instance order.
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func (n *node) link() {
+	n.mu.Lock()
+	n.next.mu.Lock() // want `lock-order cycle`
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// gamma/delta are always taken in the same order: no report.
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+type orderly struct {
+	g gamma
+	d delta
+}
+
+func (o *orderly) one() {
+	o.g.mu.Lock()
+	o.d.mu.Lock()
+	o.d.mu.Unlock()
+	o.g.mu.Unlock()
+}
+
+func (o *orderly) two() {
+	o.g.mu.Lock()
+	o.d.mu.Lock()
+	o.d.mu.Unlock()
+	o.g.mu.Unlock()
+}

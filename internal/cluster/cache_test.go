@@ -123,3 +123,27 @@ func TestClusterCacheUpdateOneReadsFresh(t *testing.T) {
 		t.Fatalf("caller mutation leaked into router cache: %v", again[0])
 	}
 }
+
+// TestEnsureIndexBumpsGeneration pins the index-DDL/cache contract:
+// EnsureIndex must advance the write generation like EnsureOrderedIndex
+// does, or cached plans and ETags keep validating against the old index
+// set until an unrelated write lands.
+func TestEnsureIndexBumpsGeneration(t *testing.T) {
+	rc := rcache.New(256, obs.NewRegistry())
+	tc := startClusterCache(t, 2, 0, rc)
+	routed := tc.router.C("materials")
+	seedMaterials(t, routed, 4)
+
+	g0 := routed.Generation()
+	if g0 == 0 {
+		t.Fatal("generation still zero after seeding")
+	}
+	tc.router.EnsureIndex("materials", "band_gap")
+	if g := routed.Generation(); g <= g0 {
+		t.Fatalf("generation after EnsureIndex = %d, want > %d", g, g0)
+	}
+	tc.router.EnsureOrderedIndex("materials", "band_gap", "nelements")
+	if g := routed.Generation(); g <= g0+1 {
+		t.Fatalf("generation after EnsureOrderedIndex = %d, want > %d", g, g0+1)
+	}
+}

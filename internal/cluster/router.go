@@ -705,13 +705,15 @@ func (r *Router) writeOnGroup(gi int, do func(m *member) error) error {
 }
 
 // EnsureIndex creates the index on every member of every group (best
-// effort on unhealthy members).
+// effort on unhealthy members). The write generation bumps so cached
+// plans and ETags refresh, same as EnsureOrderedIndex.
 func (r *Router) EnsureIndex(collection, path string) {
 	for gi := range r.groups {
 		r.writeOnGroup(gi, func(m *member) error {
 			var resp wire.OKResponse
 			return r.call(m, wire.PathEnsureIndex, wire.EnsureIndexRequest{Collection: collection, Path: path}, &resp)
 		})
+		r.bumpGen(collection, gi)
 	}
 }
 
@@ -1258,7 +1260,7 @@ func (r *Router) antiEntropy(gi int) {
 	var src *member
 	for _, m := range members {
 		if a := m.applied.Load(); a > head || src == nil {
-			head = m.applied.Load()
+			head = a
 			src = m
 		}
 	}

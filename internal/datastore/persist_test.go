@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"matproj/internal/document"
 )
@@ -172,5 +173,45 @@ func TestReplayUpdateForUnknownIDInserts(t *testing.T) {
 	got, err := s.C("x").FindID("a")
 	if err != nil || got["v"] != int64(9) {
 		t.Errorf("got %v err %v", got, err)
+	}
+}
+
+// TestCloseReleasesStoreLockBeforeJournalClose is the regression test
+// for an AB/BA deadlock: Close used to hold s.mu while journal.close
+// took j.mu, while journal.snapshot holds j.mu and read-locks s.mu. The
+// fixed Close detaches the journal under s.mu and closes it outside, so
+// the store lock must be observably free while Close waits on j.mu.
+func TestCloseReleasesStoreLockBeforeJournalClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := s.journal
+	if j == nil {
+		t.Fatal("journaled store expected")
+	}
+
+	j.mu.Lock() // stand in for a concurrent snapshot holding the journal lock
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+
+	detached := false
+	for i := 0; i < 2000 && !detached; i++ {
+		if s.mu.TryRLock() {
+			detached = s.journal == nil
+			s.mu.RUnlock()
+		}
+		if !detached {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	j.mu.Unlock()
+	if !detached {
+		<-done
+		t.Fatal("Close still holds s.mu while waiting on the journal lock; concurrent Snapshot would deadlock")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }

@@ -143,14 +143,17 @@ func MustOpenMemory() *Store {
 	return s
 }
 
-// Close flushes and closes the journal, if any.
+// Close flushes and closes the journal, if any. The journal is detached
+// under s.mu but closed outside it: close takes j.mu, and
+// journal.snapshot holds j.mu while read-locking s.mu, so holding s.mu
+// across close would deadlock against a concurrent Snapshot.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.journal != nil {
-		err := s.journal.close()
-		s.journal = nil
-		return err
+	j := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	if j != nil {
+		return j.close()
 	}
 	return nil
 }

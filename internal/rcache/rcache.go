@@ -26,6 +26,7 @@ package rcache
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -161,7 +162,22 @@ func (c *Cache) GetOrCompute(key string, gen uint64, compute func() (any, error)
 	c.reg.Counter("rcache.misses").Inc()
 	c.updateRatio()
 
-	v, err := compute()
+	// compute may panic: settle the flight and drop it before re-raising,
+	// or every collapsed waiter parks in Wait forever and the dead flight
+	// swallows all future misses for this key+gen.
+	v, err := func() (rv any, rerr error) {
+		defer func() {
+			if p := recover(); p != nil {
+				f.val, f.err = nil, fmt.Errorf("rcache: compute for %q panicked: %v", key, p)
+				f.wg.Done()
+				c.mu.Lock()
+				delete(c.flights, fk)
+				c.mu.Unlock()
+				panic(p)
+			}
+		}()
+		return compute()
+	}()
 	f.val, f.err = v, err
 	f.wg.Done()
 

@@ -3,9 +3,11 @@ package rcache
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"matproj/internal/obs"
 )
@@ -189,5 +191,65 @@ func TestNilCachePassesThrough(t *testing.T) {
 	}
 	if _, ok := c.Lookup("k", 1); ok {
 		t.Fatal("nil cache lookup hit")
+	}
+}
+
+// TestGetOrComputePanicSettlesFlight is the regression test for the
+// singleflight leak: a panicking compute must re-raise to its own
+// caller, but first settle the flight (so collapsed waiters unblock
+// with an error instead of parking in Wait forever) and remove it (so
+// later misses for the same key+gen compute fresh instead of joining a
+// dead flight).
+func TestGetOrComputePanicSettlesFlight(t *testing.T) {
+	c := New(8, obs.NewRegistry())
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	computerDone := make(chan struct{})
+
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+			close(computerDone)
+		}()
+		c.GetOrCompute("k", 7, func() (any, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+
+	// The flight is registered before compute runs, so this call either
+	// collapses onto it (and must get the panic error) or, if it loses
+	// the race with cleanup, computes fresh (and must succeed).
+	var wv any
+	var werr error
+	waiterDone := make(chan struct{})
+	go func() {
+		wv, _, werr = c.GetOrCompute("k", 7, func() (any, error) { return "fresh", nil })
+		close(waiterDone)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park on the flight
+	close(release)
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung: flight never settled after compute panicked")
+	}
+	if werr != nil {
+		if !strings.Contains(werr.Error(), "panicked") {
+			t.Errorf("collapsed waiter error = %v, want the panic error", werr)
+		}
+	} else if wv != "fresh" {
+		t.Errorf("fresh compute returned %v, want \"fresh\"", wv)
+	}
+	<-computerDone
+
+	// The dead flight must be gone: a new call computes and caches.
+	v, cached, err := c.GetOrCompute("k", 7, func() (any, error) { return "after", nil })
+	if err != nil || cached || v != "after" {
+		t.Fatalf("flight not cleaned up after panic: v=%v cached=%v err=%v", v, cached, err)
 	}
 }

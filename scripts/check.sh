@@ -14,7 +14,32 @@ cd "$(dirname "$0")/.."
 #       a //lint:ignore <analyzer> <reason> with a real justification)
 #   2 — load/type error; the tree does not even type-check
 go vet ./...
-go run ./cmd/mplint ./...
+mplint_bin="${TMPDIR:-/tmp}/mplint.$$"
+go build -o "$mplint_bin" ./cmd/mplint
+trap 'rm -f "$mplint_bin"' EXIT
+
+# Registration smoke: every analyzer the suite is supposed to carry must
+# be selectable, or a refactor that drops one silently weakens the gate.
+mplint_list="$("$mplint_bin" -list)"
+for a in clockdiscipline seededrand fsyncerr docaliasing lockheld wrapcheck \
+         lockorder goroleak gendiscipline atomicmix; do
+    case "$mplint_list" in
+    *"$a"*) ;;
+    *) echo "check.sh: analyzer $a missing from mplint -list" >&2; exit 1 ;;
+    esac
+done
+
+# Timing budget: the whole-module run (interprocedural fact base
+# included) must stay under 60s, so the suite remains cheap enough to
+# gate every commit.
+lint_start=$(date +%s)
+"$mplint_bin" ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt 60 ]; then
+    echo "check.sh: mplint took ${lint_elapsed}s, budget is 60s" >&2
+    exit 1
+fi
+echo "mplint clean in ${lint_elapsed}s (budget 60s)"
 go build ./...
 go test -race ./...
 
