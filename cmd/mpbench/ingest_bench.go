@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// The ingest experiment measures what the group-commit write path buys
+// on the workload it was built for: bulk ingest into a durable store.
+// Three writers load the same synthetic task documents into a fresh
+// journaled store:
+//
+//   - insert.seq: one Insert per document, sequential — every document
+//     pays its own fsync (the pre-group-commit cost model).
+//   - insert.conc: one Insert per document from 16 goroutines — the
+//     group-commit queue coalesces concurrent appends, so one fsync
+//     acks many in-flight records.
+//   - insertMany: documents in batches through the single-lock batch
+//     path — one fsync per batch.
+//
+// BENCH_ingest.json records docs/sec for each plus the batched-over-
+// sequential speedup; the run fails when that speedup lands under
+// -ingest-min-speedup (default 5x), making the artifact a durability-
+// path performance gate.
+
+// ingestBenchResult is one timed workload in BENCH_ingest.json.
+type ingestBenchResult struct {
+	Name       string  `json:"name"`
+	Docs       int     `json:"docs"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	Writers    int     `json:"writers,omitempty"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	MsPerDoc   float64 `json:"ms_per_doc"`
+}
+
+// ingestDoc synthesizes the i-th ingest document (a small task record).
+func ingestDoc(i int) document.D {
+	return document.D{
+		"task_id": fmt.Sprintf("task-%06d", i),
+		"state":   "successful",
+		"formula": "Fe2O3",
+		"energy":  -6.5,
+		"nsites":  int64(10),
+	}
+}
+
+// ingestStore opens a fresh durable store in a throwaway directory.
+func ingestStore() (*datastore.Store, func(), error) {
+	dir, err := os.MkdirTemp("", "mpbench-ingest-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := datastore.Open(dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cleanup := func() {
+		s.Close()
+		os.RemoveAll(dir)
+	}
+	return s, cleanup, nil
+}
+
+func runIngestBench(out string, minSpeedup float64) error {
+	const (
+		seqDocs   = 500  // fsync-per-doc is ~ms each; keep the slow side short
+		fastDocs  = 5000 // batched/coalesced sides are cheap, use more for stable timing
+		batchSize = 500
+		writers   = 16
+	)
+
+	// Sequential singleton inserts: the baseline cost model.
+	seq, err := ingestTimed("insert.seq", seqDocs, 0, 0, func(s *datastore.Store) error {
+		c := s.C("tasks")
+		for i := 0; i < seqDocs; i++ {
+			if _, err := c.Insert(ingestDoc(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Concurrent singletons: same per-document API, but the commit queue
+	// coalesces overlapping appends into shared fsyncs.
+	conc, err := ingestTimed("insert.conc", fastDocs, 0, writers, func(s *datastore.Store) error {
+		c := s.C("tasks")
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		for w := 0; w < writers; w++ {
+			lo, hi := w*fastDocs/writers, (w+1)*fastDocs/writers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if _, err := c.Insert(ingestDoc(i)); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Batched inserts: one lock section and one fsync per batch.
+	batch, err := ingestTimed("insertMany", fastDocs, batchSize, 0, func(s *datastore.Store) error {
+		c := s.C("tasks")
+		for lo := 0; lo < fastDocs; lo += batchSize {
+			docs := make([]document.D, 0, batchSize)
+			for i := lo; i < lo+batchSize && i < fastDocs; i++ {
+				docs = append(docs, ingestDoc(i))
+			}
+			if _, err := c.InsertMany(docs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	speedup := batch.DocsPerSec / seq.DocsPerSec
+	concSpeedup := conc.DocsPerSec / seq.DocsPerSec
+	payload := struct {
+		Results      []ingestBenchResult `json:"results"`
+		BatchSpeedup float64             `json:"batch_speedup"`
+		ConcSpeedup  float64             `json:"concurrent_speedup"`
+		MinSpeedup   float64             `json:"min_speedup_gate"`
+	}{Results: []ingestBenchResult{seq, conc, batch}, BatchSpeedup: speedup, ConcSpeedup: concSpeedup, MinSpeedup: minSpeedup}
+	if err := writeJSON(out, payload); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("  batched ingest speedup: %.1fx, coalesced concurrent: %.1fx (gate: >=%.0fx batched)\n",
+		speedup, concSpeedup, minSpeedup)
+	if speedup < minSpeedup {
+		return fmt.Errorf("ingest bench: batched speedup %.1fx under the %.0fx gate", speedup, minSpeedup)
+	}
+	return nil
+}
+
+// ingestTimed runs one ingest workload against a fresh durable store,
+// verifying afterwards that every document was acked into the journal
+// (count check) so a buggy fast path cannot win the benchmark.
+func ingestTimed(name string, docs, batchSize, writers int, f func(*datastore.Store) error) (ingestBenchResult, error) {
+	s, cleanup, err := ingestStore()
+	if err != nil {
+		return ingestBenchResult{}, err
+	}
+	defer cleanup()
+	start := time.Now()
+	if err := f(s); err != nil {
+		return ingestBenchResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	n, err := s.C("tasks").Count(nil)
+	if err != nil {
+		return ingestBenchResult{}, err
+	}
+	if n != docs {
+		return ingestBenchResult{}, fmt.Errorf("%s: stored %d of %d docs", name, n, docs)
+	}
+	res := ingestBenchResult{
+		Name:       name,
+		Docs:       docs,
+		BatchSize:  batchSize,
+		Writers:    writers,
+		DocsPerSec: float64(docs) / elapsed.Seconds(),
+		MsPerDoc:   elapsed.Seconds() * 1e3 / float64(docs),
+	}
+	fmt.Printf("  %-12s %6d docs  %8.3f ms/doc  %10.1f docs/s\n", res.Name, res.Docs, res.MsPerDoc, res.DocsPerSec)
+	return res, nil
+}

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|failover|planner|webload|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|fig1|fig2|fig3|fig4|fig5|mapreduce|taskfarm|fireworks|weekstats|bench|cluster|cache|failover|planner|ingest|webload|all)")
 	scaleName := flag.String("scale", "full", "experiment scale (small|full)")
 	benchOut := flag.String("bench-out", "BENCH_core.json", "bench mode: timed-loop results file")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "bench mode: metrics registry snapshot file")
@@ -30,6 +30,8 @@ func main() {
 	webloadOut := flag.String("webload-out", "BENCH_webload.json", "webload mode: open-loop HTTP load results file")
 	plannerOut := flag.String("planner-out", "BENCH_planner.json", "planner mode: indexed-vs-scan range query results file")
 	plannerMin := flag.Float64("planner-min-speedup", 10, "planner mode: minimum 100k-doc indexed range speedup; under it the run fails")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "ingest mode: batched-vs-singleton durable write results file")
+	ingestMin := flag.Float64("ingest-min-speedup", 5, "ingest mode: minimum batched-over-sequential speedup; under it the run fails")
 	rate := flag.Float64("rate", 150, "open-loop arrival rate in queries/sec (failover, webload)")
 	loadDur := flag.Duration("load-duration", 4*time.Second, "open-loop load window (failover, webload)")
 	maxStale := flag.Int("max-staleness", 4, "staleness budget in generations for follower reads (failover, webload)")
@@ -152,6 +154,12 @@ func main() {
 		// speedup into BENCH_planner.json, gated on -planner-min-speedup.
 		"planner": func() error {
 			return runPlannerBench(*plannerOut, *plannerMin)
+		},
+		// ingest writes the group-commit ingest throughput comparison
+		// (sequential vs coalesced-concurrent vs batched durable writes)
+		// into BENCH_ingest.json, gated on -ingest-min-speedup.
+		"ingest": func() error {
+			return runIngestBench(*ingestOut, *ingestMin)
 		},
 		// webload drives a running mpserve deployment (-url) with the
 		// same open-loop mix over HTTP, gating on p99 and staleness.

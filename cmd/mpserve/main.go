@@ -62,6 +62,8 @@ func main() {
 	cacheOff := flag.Bool("cache-off", false, "disable the read-path result cache")
 	orderedIndexes := flag.String("ordered-index", "",
 		"ordered compound indexes to create after load, as coll:path1,path2 specs separated by ';' (standalone, router)")
+	maxBodyBytes := flag.Int64("max-body-bytes", restapi.DefaultMaxBodyBytes,
+		"request body size cap in bytes; oversized bodies get 413 (negative disables the cap)")
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -88,11 +90,11 @@ func main() {
 
 	switch *role {
 	case "standalone":
-		runStandalone(*addr, *nMaterials, *dataDir, *seed, oindexes, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+		runStandalone(*addr, *nMaterials, *dataDir, *seed, oindexes, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs, *maxBodyBytes)
 	case "node":
 		runNode(*addr, *nodeID, *dataDir, reg)
 	case "router":
-		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, oindexes, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs)
+		runRouter(*addr, *peers, *shards, *nMaterials, *seed, *healthEvery, oindexes, rc, reg, tracer, *metrics, *pprofFlag, *slowQueryMs, *maxBodyBytes)
 	default:
 		fmt.Fprintf(os.Stderr, "mpserve: unknown role %q (want standalone, node, or router)\n", *role)
 		os.Exit(2)
@@ -161,7 +163,7 @@ func runNode(addr, id, dataDir string, reg *obs.Registry) {
 // separate servers").
 func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEvery time.Duration,
 	oindexes []orderedIndexSpec, rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer,
-	metrics, pprofFlag bool, slowQueryMs float64) {
+	metrics, pprofFlag bool, slowQueryMs float64, maxBodyBytes int64) {
 	var urls []string
 	for _, p := range strings.Split(peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
@@ -225,13 +227,13 @@ func runRouter(addr, peers string, shards, nMaterials int, seed int64, healthEve
 
 	// Auth and status stay router-local.
 	local := datastore.MustOpenMemory()
-	serveAPI(addr, eng, local, reg, tracer, metrics, pprofFlag, slowQueryMs,
+	serveAPI(addr, eng, local, reg, tracer, metrics, pprofFlag, slowQueryMs, maxBodyBytes,
 		fmt.Sprintf("Materials API (routed, %d shards × %d peers)", shards, len(urls)))
 }
 
 func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
 	oindexes []orderedIndexSpec, rc *rcache.Cache, reg *obs.Registry, tracer *obs.Tracer,
-	metrics, pprofFlag bool, slowQueryMs float64) {
+	metrics, pprofFlag bool, slowQueryMs float64, maxBodyBytes int64) {
 	cfg := pipeline.DefaultConfig()
 	cfg.NMaterials = nMaterials
 	cfg.PersistDir = dataDir
@@ -252,16 +254,18 @@ func runStandalone(addr string, nMaterials int, dataDir string, seed int64,
 	log.Printf("store ready: %d collections, %d documents, ~%d KB", st.Collections, st.Documents, st.Bytes/1024)
 	log.Printf("materials=%d tasks=%d bandstructures=%d xrd=%d batteries=%d",
 		d.Materials, d.Tasks, d.Bands, d.XRDPatterns, d.Batteries)
-	serveAPI(addr, d.Engine, d.Store, reg, tracer, metrics, pprofFlag, slowQueryMs,
+	serveAPI(addr, d.Engine, d.Store, reg, tracer, metrics, pprofFlag, slowQueryMs, maxBodyBytes,
 		"Materials API + web portal")
 }
 
 // serveAPI mounts the public API (plus portal, metrics, pprof) and
 // serves until the process dies.
 func serveAPI(addr string, eng *queryengine.Engine, store *datastore.Store,
-	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64, banner string) {
+	reg *obs.Registry, tracer *obs.Tracer, metrics, pprofFlag bool, slowQueryMs float64,
+	maxBodyBytes int64, banner string) {
 	auth := restapi.NewAuth(store)
 	api := restapi.NewServer(eng, auth, store)
+	api.MaxBodyBytes = maxBodyBytes
 	if metrics {
 		api.Observe(reg, tracer)
 	}

@@ -1,0 +1,139 @@
+package cluster_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+// TestRoutedInsertManyDistributesAcrossShards writes one batch through
+// the router and checks it behaves like per-document inserts: ids come
+// back in input order, every document is readable, and both shard
+// groups hold a share of the corpus.
+func TestRoutedInsertManyDistributesAcrossShards(t *testing.T) {
+	tc := startCluster(t, 2, 1)
+	routed := tc.router.C("materials")
+
+	docs := make([]document.D, 20)
+	for i := range docs {
+		docs[i] = document.D{"_id": fmt.Sprintf("im-%03d", i), "band_gap": float64(i)}
+	}
+	// The last few carry no id: the router must mint one per document.
+	docs = append(docs, document.D{"band_gap": 100.0}, document.D{"band_gap": 101.0})
+
+	ids, err := routed.InsertMany(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 22 {
+		t.Fatalf("ids = %d, want 22", len(ids))
+	}
+	for i := 0; i < 20; i++ {
+		if want := fmt.Sprintf("im-%03d", i); ids[i] != want {
+			t.Errorf("ids[%d] = %q, want %q", i, ids[i], want)
+		}
+	}
+	if ids[20] == "" || ids[21] == "" || ids[20] == ids[21] {
+		t.Errorf("minted ids = %q, %q", ids[20], ids[21])
+	}
+
+	n, err := routed.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 22 {
+		t.Fatalf("routed count = %d, want 22", n)
+	}
+	// Both groups got a sub-batch (the hash spreads 22 ids).
+	for gi, nodes := range tc.nodes {
+		got, _ := nodes[0].Store().C("materials").Count(nil)
+		if got == 0 || got == 22 {
+			t.Errorf("group %d holds %d docs — batch not partitioned", gi, got)
+		}
+		// Replication: every member of the group holds the same share.
+		rep, _ := nodes[1].Store().C("materials").Count(nil)
+		if rep != got {
+			t.Errorf("group %d replica holds %d docs, primary %d", gi, rep, got)
+		}
+	}
+}
+
+// TestRoutedBulkWriteMixedAcrossShards drives a mixed batch through the
+// router: per-op errors stay per-op, multi-shard updates and deletes
+// merge their counts, and updateOne stays single-document even when its
+// filter spans every shard.
+func TestRoutedBulkWriteMixedAcrossShards(t *testing.T) {
+	tc := startCluster(t, 2, 1)
+	routed := tc.router.C("materials")
+	seedMaterials(t, routed, 20)
+
+	res, err := routed.BulkWrite([]datastore.BulkOp{
+		{Op: datastore.BulkInsert, Doc: document.D{"_id": "bk-new", "band_gap": 9.9}},
+		{Op: datastore.BulkInsert, Doc: document.D{"_id": "mat-000", "band_gap": 0.0}}, // duplicate
+		{Op: datastore.BulkUpdateMany, Filter: document.D{"nelements": int64(2)},
+			Update: document.D{"$set": document.D{"flagged": true}}},
+		{Op: datastore.BulkUpdateOne, Filter: document.D{"nelements": int64(3)},
+			Update: document.D{"$set": document.D{"picked": true}}},
+		{Op: datastore.BulkDelete, Filter: document.D{"nelements": int64(4)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp[0].ID != "bk-new" || res.PerOp[0].Error != "" {
+		t.Errorf("insert op = %+v", res.PerOp[0])
+	}
+	if res.PerOp[1].Error == "" || !strings.Contains(res.PerOp[1].Error, "mat-000") {
+		t.Errorf("duplicate insert op = %+v", res.PerOp[1])
+	}
+	// Seeded corpus: nelements = i%4+1, so 5 docs per residue class.
+	if res.PerOp[2].Matched != 5 || res.PerOp[2].Modified != 5 {
+		t.Errorf("updateMany op = %+v (cross-shard counts not merged)", res.PerOp[2])
+	}
+	if res.PerOp[3].Matched != 1 || res.PerOp[3].Modified != 1 {
+		t.Errorf("updateOne op = %+v (must pin to one document)", res.PerOp[3])
+	}
+	if res.PerOp[4].Removed != 5 {
+		t.Errorf("delete op = %+v", res.PerOp[4])
+	}
+	if res.Inserted != 1 || res.Matched != 6 || res.Modified != 6 || res.Removed != 5 {
+		t.Errorf("totals = %+v", res)
+	}
+
+	// State checks through the normal routed read path.
+	flagged, err := routed.Count(document.D{"flagged": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged != 5 {
+		t.Errorf("flagged = %d, want 5", flagged)
+	}
+	picked, _ := routed.Count(document.D{"picked": true})
+	if picked != 1 {
+		t.Errorf("picked = %d, want exactly 1 (updateOne leaked across shards)", picked)
+	}
+	remaining, _ := routed.Count(nil)
+	if remaining != 20+1-5 {
+		t.Errorf("count = %d, want 16", remaining)
+	}
+}
+
+// TestRoutedBulkWriteEmptyAndUnknownOp covers the degenerate inputs.
+func TestRoutedBulkWriteEmptyAndUnknownOp(t *testing.T) {
+	tc := startCluster(t, 2, 0)
+	routed := tc.router.C("materials")
+
+	res, err := routed.BulkWrite(nil)
+	if err != nil || len(res.PerOp) != 0 {
+		t.Fatalf("empty batch: %+v %v", res, err)
+	}
+	res, err = routed.BulkWrite([]datastore.BulkOp{{Op: "rename", Filter: document.D{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp[0].Error == "" {
+		t.Error("unknown op accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"matproj/internal/cluster/wire"
 	"matproj/internal/datastore"
+	"matproj/internal/document"
 	"matproj/internal/obs"
 )
 
@@ -80,6 +81,8 @@ func NewNode(id string, store *datastore.Store, reg *obs.Registry) *Node {
 		})
 	}
 	post(wire.PathInsert, n.handleInsert)
+	post(wire.PathInsertMany, n.handleInsertMany)
+	post(wire.PathBulkWrite, n.handleBulkWrite)
 	post(wire.PathFind, n.handleFind)
 	post(wire.PathCount, n.handleCount)
 	post(wire.PathGet, n.handleGet)
@@ -163,6 +166,34 @@ func (n *Node) handleInsert(w http.ResponseWriter, r *http.Request) error {
 		return fmt.Errorf("cluster: insert %s: %w", req.Collection, err)
 	}
 	return writeJSON(w, wire.InsertResponse{ID: id, Gen: n.store.ReplGen()})
+}
+
+func (n *Node) handleInsertMany(w http.ResponseWriter, r *http.Request) error {
+	var req wire.InsertManyRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	docs := make([]document.D, len(req.Docs))
+	for i, d := range req.Docs {
+		docs[i] = wire.NormalizeMap(d)
+	}
+	ids, err := n.store.C(req.Collection).InsertMany(docs)
+	if err != nil {
+		return fmt.Errorf("cluster: insertMany %s: %w", req.Collection, err)
+	}
+	return writeJSON(w, wire.InsertManyResponse{IDs: ids, Gen: n.store.ReplGen()})
+}
+
+func (n *Node) handleBulkWrite(w http.ResponseWriter, r *http.Request) error {
+	var req wire.BulkWriteRequest
+	if err := wire.DecodeJSON(r.Body, &req); err != nil {
+		return badRequest("%v", err)
+	}
+	res, err := n.store.C(req.Collection).BulkWrite(req.ToBulkOps())
+	if err != nil {
+		return fmt.Errorf("cluster: bulkWrite %s: %w", req.Collection, err)
+	}
+	return writeJSON(w, wire.FromBulkResult(res, n.store.ReplGen()))
 }
 
 func (n *Node) handleFind(w http.ResponseWriter, r *http.Request) error {

@@ -27,6 +27,8 @@ const Version = "/internal/v1"
 // Endpoint paths under Version. All ops are POST except Health (GET).
 const (
 	PathInsert      = "/insert"
+	PathInsertMany  = "/insertmany"
+	PathBulkWrite   = "/bulkwrite"
 	PathFind        = "/find"
 	PathCount       = "/count"
 	PathGet         = "/get"
@@ -111,6 +113,102 @@ type InsertRequest struct {
 type InsertResponse struct {
 	ID  string `json:"id"`
 	Gen uint64 `json:"gen,omitempty"`
+}
+
+// InsertManyRequest writes a batch of documents to a node in one call
+// (a per-shard sub-batch of a routed InsertMany). The node applies it
+// through the datastore's single-lock batch path, so the whole
+// sub-batch rides one group-commit fsync.
+type InsertManyRequest struct {
+	Collection string           `json:"collection"`
+	Docs       []map[string]any `json:"docs"`
+}
+
+// InsertManyResponse reports the assigned ids (in input order) and the
+// node's resulting replication generation.
+type InsertManyResponse struct {
+	IDs []string `json:"ids"`
+	Gen uint64   `json:"gen,omitempty"`
+}
+
+// BulkOp is the wire form of datastore.BulkOp.
+type BulkOp struct {
+	Op     string         `json:"op"`
+	Doc    map[string]any `json:"doc,omitempty"`
+	Filter map[string]any `json:"filter,omitempty"`
+	Update map[string]any `json:"update,omitempty"`
+}
+
+// FromBulkOps converts datastore bulk ops to their wire form.
+func FromBulkOps(ops []datastore.BulkOp) []BulkOp {
+	out := make([]BulkOp, len(ops))
+	for i, op := range ops {
+		out[i] = BulkOp{
+			Op:     op.Op,
+			Doc:    map[string]any(op.Doc),
+			Filter: map[string]any(op.Filter),
+			Update: map[string]any(op.Update),
+		}
+	}
+	return out
+}
+
+// ToBulkOps canonicalizes wire bulk ops back to datastore ops.
+func (ops BulkWriteRequest) ToBulkOps() []datastore.BulkOp {
+	out := make([]datastore.BulkOp, len(ops.Ops))
+	for i, op := range ops.Ops {
+		out[i] = datastore.BulkOp{
+			Op:     op.Op,
+			Doc:    NormalizeMap(op.Doc),
+			Filter: NormalizeMap(op.Filter),
+			Update: NormalizeMap(op.Update),
+		}
+	}
+	return out
+}
+
+// BulkWriteRequest applies a mixed insert/update/delete batch on a node
+// (a per-shard sub-batch of a routed BulkWrite).
+type BulkWriteRequest struct {
+	Collection string   `json:"collection"`
+	Ops        []BulkOp `json:"ops"`
+}
+
+// BulkOpResult is the wire form of one op's outcome; Error is set on
+// per-op failure (the sub-batch itself still succeeds).
+type BulkOpResult struct {
+	ID       string `json:"id,omitempty"`
+	Matched  int    `json:"matched,omitempty"`
+	Modified int    `json:"modified,omitempty"`
+	Removed  int    `json:"removed,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// BulkWriteResponse reports a sub-batch's totals, per-op outcomes (in
+// input order) and the node's resulting replication generation.
+type BulkWriteResponse struct {
+	Inserted int            `json:"inserted"`
+	Matched  int            `json:"matched"`
+	Modified int            `json:"modified"`
+	Removed  int            `json:"removed"`
+	PerOp    []BulkOpResult `json:"per_op"`
+	Gen      uint64         `json:"gen,omitempty"`
+}
+
+// FromBulkResult converts a datastore bulk outcome to its wire form.
+func FromBulkResult(r datastore.BulkResult, gen uint64) BulkWriteResponse {
+	resp := BulkWriteResponse{
+		Inserted: r.Inserted,
+		Matched:  r.Matched,
+		Modified: r.Modified,
+		Removed:  r.Removed,
+		PerOp:    make([]BulkOpResult, len(r.PerOp)),
+		Gen:      gen,
+	}
+	for i, op := range r.PerOp {
+		resp.PerOp[i] = BulkOpResult{ID: op.ID, Matched: op.Matched, Modified: op.Modified, Removed: op.Removed, Error: op.Error}
+	}
+	return resp
 }
 
 // FindRequest runs a filtered read on a node.

@@ -1,0 +1,177 @@
+package datastore
+
+import (
+	"strings"
+	"testing"
+
+	"matproj/internal/document"
+)
+
+func TestBulkWriteMixedOps(t *testing.T) {
+	s := MustOpenMemory()
+	defer s.Close()
+	c := s.C("x")
+	c.Insert(doc(`{"_id": "a", "v": 1}`))
+	c.Insert(doc(`{"_id": "b", "v": 2}`))
+	c.Insert(doc(`{"_id": "c", "v": 3}`))
+
+	res, err := c.BulkWrite([]BulkOp{
+		{Op: BulkInsert, Doc: doc(`{"_id": "d", "v": 4}`)},
+		{Op: BulkUpdateOne, Filter: doc(`{"_id": "a"}`), Update: doc(`{"$set": {"v": 10}}`)},
+		{Op: BulkUpdateMany, Filter: doc(`{"v": {"$gte": 2}}`), Update: doc(`{"$inc": {"v": 100}}`)},
+		{Op: BulkDelete, Filter: doc(`{"_id": "b"}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Matched != 5 || res.Modified != 5 || res.Removed != 1 {
+		t.Errorf("totals = %+v", res)
+	}
+	if res.PerOp[0].ID != "d" || res.PerOp[0].Error != "" {
+		t.Errorf("insert op result = %+v", res.PerOp[0])
+	}
+	if res.PerOp[1].Matched != 1 || res.PerOp[1].Modified != 1 {
+		t.Errorf("updateOne result = %+v", res.PerOp[1])
+	}
+	// The batch executes in order: updateMany sees b, c, d, and a — the
+	// updateOne just set a.v to 10, which matches $gte 2.
+	if res.PerOp[2].Matched != 4 || res.PerOp[2].Modified != 4 {
+		t.Errorf("updateMany result = %+v", res.PerOp[2])
+	}
+	if res.PerOp[3].Removed != 1 {
+		t.Errorf("delete result = %+v", res.PerOp[3])
+	}
+	if _, err := c.FindID("b"); err == nil {
+		t.Error("deleted doc still present")
+	}
+	a, _ := c.FindID("a")
+	if a["v"] != int64(110) {
+		t.Errorf("a.v = %v, want 110 (updateOne then updateMany)", a["v"])
+	}
+}
+
+func TestBulkWriteContinuesPastOpErrors(t *testing.T) {
+	s := MustOpenMemory()
+	defer s.Close()
+	c := s.C("x")
+	c.Insert(doc(`{"_id": "dup", "v": 1}`))
+
+	res, err := c.BulkWrite([]BulkOp{
+		{Op: BulkInsert, Doc: doc(`{"_id": "dup", "v": 2}`)},                                       // duplicate id
+		{Op: "rename", Filter: doc(`{}`)},                                                          // unknown op
+		{Op: BulkUpdateOne, Filter: doc(`{"_id": "dup"}`), Update: doc(`{"$set": {"_id": "zz"}}`)}, // _id change
+		{Op: BulkInsert, Doc: doc(`{"_id": "ok", "v": 3}`)},                                        // must still run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp[0].Error == "" || !strings.Contains(res.PerOp[0].Error, "dup") {
+		t.Errorf("dup insert error = %q", res.PerOp[0].Error)
+	}
+	if res.PerOp[1].Error == "" {
+		t.Error("unknown op not reported")
+	}
+	if res.PerOp[2].Error == "" {
+		t.Error("_id rewrite not rejected")
+	}
+	if res.PerOp[3].Error != "" || res.PerOp[3].ID != "ok" {
+		t.Errorf("trailing insert result = %+v", res.PerOp[3])
+	}
+	if res.Inserted != 1 {
+		t.Errorf("inserted = %d, want 1", res.Inserted)
+	}
+	d, err := c.FindID("dup")
+	if err != nil || d["v"] != int64(1) {
+		t.Errorf("dup doc clobbered: %v %v", d, err)
+	}
+	if _, err := c.FindID("ok"); err != nil {
+		t.Errorf("op after failures skipped: %v", err)
+	}
+}
+
+func TestBulkWriteMintsInsertIDs(t *testing.T) {
+	s := MustOpenMemory()
+	defer s.Close()
+	res, err := s.C("x").BulkWrite([]BulkOp{
+		{Op: BulkInsert, Doc: doc(`{"v": 1}`)},
+		{Op: BulkInsert, Doc: doc(`{"v": 2}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp[0].ID == "" || res.PerOp[1].ID == "" || res.PerOp[0].ID == res.PerOp[1].ID {
+		t.Errorf("minted ids = %q, %q", res.PerOp[0].ID, res.PerOp[1].ID)
+	}
+}
+
+func TestInsertManyAllOrNothing(t *testing.T) {
+	s := MustOpenMemory()
+	defer s.Close()
+	c := s.C("x")
+	c.Insert(doc(`{"_id": "taken", "v": 0}`))
+
+	// A stored duplicate anywhere in the batch rejects the whole batch.
+	if _, err := c.InsertMany([]document.D{
+		doc(`{"_id": "n1", "v": 1}`),
+		doc(`{"_id": "taken", "v": 2}`),
+	}); err == nil {
+		t.Fatal("stored dup accepted")
+	}
+	if _, err := c.FindID("n1"); err == nil {
+		t.Error("partial batch applied despite dup")
+	}
+
+	// An intra-batch duplicate likewise.
+	if _, err := c.InsertMany([]document.D{
+		doc(`{"_id": "n2", "v": 1}`),
+		doc(`{"_id": "n2", "v": 2}`),
+	}); err == nil {
+		t.Fatal("intra-batch dup accepted")
+	}
+
+	ids, err := c.InsertMany([]document.D{
+		doc(`{"_id": "n3", "v": 1}`),
+		doc(`{"v": 2}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "n3" || ids[1] == "" {
+		t.Errorf("ids = %v", ids)
+	}
+	n, _ := c.Count(nil)
+	if n != 3 {
+		t.Errorf("count = %d, want 3", n)
+	}
+}
+
+func TestInsertManyDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]document.D, 20)
+	for i := range docs {
+		docs[i] = document.D{"n": int64(i)}
+	}
+	ids, err := s.C("x").InsertMany(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 20 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	n, _ := s2.C("x").Count(nil)
+	if n != 20 {
+		t.Errorf("replayed count = %d, want 20", n)
+	}
+}

@@ -3,6 +3,8 @@ package datastore
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,28 @@ var idCounter atomic.Uint64
 // nextID generates a process-unique object id.
 func nextID() string {
 	return fmt.Sprintf("oid%012x", idCounter.Add(1))
+}
+
+// noteOID advances the id allocator past a generated-format id ("oid"
+// followed by hex). Every insert that reaches insertLocked — journal
+// replay, snapshot restore, ReplReset, replicated applies — flows
+// through this, so after a restart nextID never re-mints an id that a
+// pre-crash insert already acknowledged (which would surface as a
+// spurious ErrDuplicateID on a fresh insert).
+func noteOID(id string) {
+	if !strings.HasPrefix(id, "oid") {
+		return
+	}
+	n, err := strconv.ParseUint(id[3:], 16, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := idCounter.Load()
+		if n <= cur || idCounter.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // genCounter issues write generations. It is process-global (not
@@ -120,28 +144,67 @@ func (c *Collection) Insert(doc document.D) (string, error) {
 		return "", fmt.Errorf("%w: %q in %q", ErrDuplicateID, id, c.name)
 	}
 	c.insertLocked(id, d)
+	p := c.stageLocked(journalInsert, id, d)
 	c.mu.Unlock()
-	c.log(journalInsert, id, d)
+	if err := p.commit(); err != nil {
+		return "", err
+	}
 	c.profile("insert", start, 0)
 	return id, nil
 }
 
-// InsertMany inserts a batch, returning the assigned ids. Insertion stops
-// at the first error.
+// InsertMany inserts a batch under a single lock acquisition, returning
+// the assigned ids. The batch is validated up front (id types, intra-
+// batch and stored duplicates) and applied all-or-nothing; its journal
+// records ride one group commit, so the whole batch costs one fsync.
 func (c *Collection) InsertMany(docs []document.D) ([]string, error) {
-	ids := make([]string, 0, len(docs))
-	for _, d := range docs {
-		id, err := c.Insert(d)
-		if err != nil {
-			return ids, err
-		}
-		ids = append(ids, id)
+	start := time.Now()
+	if len(docs) == 0 {
+		return nil, nil
 	}
+	prepared := make([]document.D, len(docs))
+	ids := make([]string, len(docs))
+	seen := make(map[string]struct{}, len(docs))
+	for i, doc := range docs {
+		d := document.NormalizeDoc(doc).Copy()
+		id, hasID := d["_id"].(string)
+		if !hasID {
+			if raw, ok := d["_id"]; ok {
+				return nil, fmt.Errorf("datastore: _id must be a string, got %T", raw)
+			}
+			id = nextID()
+			d["_id"] = id
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("%w: %q repeated in batch", ErrDuplicateID, id)
+		}
+		seen[id] = struct{}{}
+		prepared[i] = d
+		ids[i] = id
+	}
+	var p pendingCommit
+	c.mu.Lock()
+	for _, id := range ids {
+		if _, exists := c.docs[id]; exists {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q in %q", ErrDuplicateID, id, c.name)
+		}
+	}
+	for i, d := range prepared {
+		c.insertLocked(ids[i], d)
+		p = c.stageLocked(journalInsert, ids[i], d)
+	}
+	c.mu.Unlock()
+	if err := p.commit(); err != nil {
+		return nil, err
+	}
+	c.profile("insertMany", start, len(ids))
 	return ids, nil
 }
 
 // insertLocked assumes c.mu is held and id is fresh.
 func (c *Collection) insertLocked(id string, d document.D) {
+	noteOID(id)
 	c.docs[id] = d
 	c.order = append(c.order, id)
 	c.seq[id] = c.seqNext
@@ -429,38 +492,38 @@ func (c *Collection) update(filter, update document.D, many bool) (UpdateResult,
 		return UpdateResult{}, err
 	}
 	var res UpdateResult
-	var logged []struct {
-		id  string
-		doc document.D
-	}
+	var p pendingCommit
+	var opErr error
 	c.mu.Lock()
 	for _, id := range c.scanLocked(flt) {
 		res.Matched++
 		cur := c.docs[id]
 		next, err := upd.Apply(cur.Copy())
 		if err != nil {
-			c.mu.Unlock()
-			return res, err
+			opErr = err
+			break
 		}
 		if nid, ok := next["_id"].(string); !ok || nid != id {
-			c.mu.Unlock()
-			return res, fmt.Errorf("datastore: update may not change _id (collection %q)", c.name)
+			opErr = fmt.Errorf("datastore: update may not change _id (collection %q)", c.name)
+			break
 		}
 		if !document.Equal(cur, next) {
 			c.replaceLocked(id, next)
 			res.Modified++
-			logged = append(logged, struct {
-				id  string
-				doc document.D
-			}{id, next})
+			p = c.stageLocked(journalUpdate, id, next)
 		}
 		if !many {
 			break
 		}
 	}
 	c.mu.Unlock()
-	for _, l := range logged {
-		c.log(journalUpdate, l.id, l.doc)
+	// Commit even on a mid-batch error: earlier documents were already
+	// modified in memory, so their records must still become durable.
+	if err := p.commit(); err != nil && opErr == nil {
+		opErr = err
+	}
+	if opErr != nil {
+		return res, opErr
 	}
 	c.profile("update", start, res.Modified)
 	return res, nil
@@ -493,8 +556,11 @@ func (c *Collection) Upsert(filter, update document.D) (string, error) {
 			return "", fmt.Errorf("datastore: upsert may not change _id")
 		}
 		c.replaceLocked(id, next)
+		p := c.stageLocked(journalUpdate, id, next)
 		c.mu.Unlock()
-		c.log(journalUpdate, id, next)
+		if err := p.commit(); err != nil {
+			return "", err
+		}
 		c.profile("update", start, 1)
 		return id, nil
 	}
@@ -520,8 +586,11 @@ func (c *Collection) Upsert(filter, update document.D) (string, error) {
 		return "", fmt.Errorf("%w: %q in %q", ErrDuplicateID, id, c.name)
 	}
 	c.insertLocked(id, next)
+	p := c.stageLocked(journalInsert, id, next)
 	c.mu.Unlock()
-	c.log(journalInsert, id, next)
+	if err := p.commit(); err != nil {
+		return "", err
+	}
 	c.profile("insert", start, 1)
 	return id, nil
 }
@@ -571,12 +640,15 @@ func (c *Collection) FindAndModify(filter, update document.D, sortSpec []string,
 		return nil, fmt.Errorf("datastore: findAndModify may not change _id")
 	}
 	c.replaceLocked(best, next)
+	p := c.stageLocked(journalUpdate, best, next)
 	out := before
 	if returnNew {
 		out = next.Copy()
 	}
 	c.mu.Unlock()
-	c.log(journalUpdate, best, next)
+	if err := p.commit(); err != nil {
+		return nil, err
+	}
 	c.profile("findAndModify", start, 1)
 	return out, nil
 }
@@ -588,14 +660,16 @@ func (c *Collection) Remove(filter document.D) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	var p pendingCommit
 	c.mu.Lock()
 	ids := c.scanLocked(flt)
 	for _, id := range ids {
 		c.removeLocked(id)
+		p = c.stageLocked(journalRemove, id, nil)
 	}
 	c.mu.Unlock()
-	for _, id := range ids {
-		c.log(journalRemove, id, nil)
+	if err := p.commit(); err != nil {
+		return len(ids), err
 	}
 	c.profile("remove", start, len(ids))
 	return len(ids), nil
@@ -610,9 +684,9 @@ func (c *Collection) RemoveID(id string) error {
 		return ErrNotFound
 	}
 	c.removeLocked(id)
+	p := c.stageLocked(journalRemove, id, nil)
 	c.mu.Unlock()
-	c.log(journalRemove, id, nil)
-	return nil
+	return p.commit()
 }
 
 // profile records an operation in the store profiler and, when the store
@@ -661,18 +735,43 @@ func (c *Collection) profileDetail(op string, start time.Time, returned int, pla
 	})
 }
 
-func (c *Collection) log(op journalOp, id string, doc document.D) {
-	if c.store == nil {
-		return
+// pendingCommit is a staged journal record awaiting its group commit.
+// The zero value (memory store, or nothing staged) commits as a no-op.
+type pendingCommit struct {
+	j *journal
+	t *commitTicket
+}
+
+// commit waits for the fsync covering the staged record. Called after
+// the collection lock is released.
+func (p pendingCommit) commit() error {
+	if p.j == nil || p.t == nil {
+		return nil
 	}
-	c.store.mu.RLock()
-	j := c.store.journal
-	c.store.mu.RUnlock()
-	if j != nil {
-		j.logWrite(c.name, op, id, doc)
-		return
+	return p.j.commit(p.t)
+}
+
+// stageLocked mints and enqueues the journal record for one applied
+// mutation. It MUST be called while holding c.mu exclusively, in the
+// same critical section that applied the mutation: that is what makes
+// journal (and replication-ring) order provably equal to apply order —
+// two racing writers cannot apply A→B in memory but journal B→A, so
+// crash replay can never resurrect a lost update. The returned
+// pendingCommit is committed after c.mu is released; callers batching
+// several records need only commit the last one (batches drain FIFO, so
+// its fsync covers all earlier records, and the journal's sticky error
+// fails every later record once an earlier one fails).
+func (c *Collection) stageLocked(op journalOp, id string, doc document.D) pendingCommit {
+	if c.store == nil {
+		return pendingCommit{}
+	}
+	if j := c.store.journal.Load(); j != nil {
+		return pendingCommit{j: j, t: j.stageWrite(c.name, op, id, doc)}
 	}
 	// Memory store: feed the in-memory replication ring instead (no-op
-	// unless EnableReplication was called).
+	// unless EnableReplication was called). record mints the generation
+	// under its own leaf mutex while we hold c.mu, so ring order matches
+	// apply order too.
 	c.store.repl.record(c.name, op, id, doc)
+	return pendingCommit{}
 }

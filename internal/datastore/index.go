@@ -185,12 +185,13 @@ func (c *Collection) EnsureIndex(path string) {
 	if path == "" || path == "_id" {
 		return // _id is always the primary key
 	}
+	var p pendingCommit
 	c.mu.Lock()
-	created := c.ensureHashLocked(path)
-	c.mu.Unlock()
-	if created {
-		c.log(journalIndex, path, hashIndexDefDoc(path))
+	if c.ensureHashLocked(path) {
+		p = c.stageLocked(journalIndex, path, hashIndexDefDoc(path))
 	}
+	c.mu.Unlock()
+	_ = p.commit()
 }
 
 // ensureHashLocked creates a hash index without journaling (shared by
@@ -211,16 +212,15 @@ func (c *Collection) ensureHashLocked(path string) bool {
 
 // DropIndex removes a secondary index.
 func (c *Collection) DropIndex(path string) {
+	var p pendingCommit
 	c.mu.Lock()
-	_, had := c.indexes[path]
-	delete(c.indexes, path)
-	if had {
+	if _, had := c.indexes[path]; had {
+		delete(c.indexes, path)
 		c.bumpGenLocked()
+		p = c.stageLocked(journalIndexDrop, path, hashIndexDefDoc(path))
 	}
 	c.mu.Unlock()
-	if had {
-		c.log(journalIndexDrop, path, hashIndexDefDoc(path))
-	}
+	_ = p.commit()
 }
 
 // scanLocked evaluates a compiled filter and returns matching ids in

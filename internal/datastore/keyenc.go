@@ -163,6 +163,11 @@ func encodeKeyDoc(dst []byte, m map[string]any) []byte {
 // order equals IEEE754 numeric order (negatives flipped entirely,
 // positives offset past them).
 func monotoneFloatBits(f float64) uint64 {
+	if f == 0 {
+		// Negative zero compares equal to +0 but carries the sign bit;
+		// normalize so encode(-0.0) == encode(0).
+		f = 0
+	}
 	bits := math.Float64bits(f)
 	if bits&(1<<63) != 0 {
 		return ^bits

@@ -212,12 +212,13 @@ func (c *Collection) EnsureOrderedIndex(paths ...string) {
 			return
 		}
 	}
+	var pc pendingCommit
 	c.mu.Lock()
-	created := c.ensureOrderedLocked(paths)
-	c.mu.Unlock()
-	if created {
-		c.log(journalIndex, orderedIndexName(paths), orderedIndexDefDoc(paths))
+	if c.ensureOrderedLocked(paths) {
+		pc = c.stageLocked(journalIndex, orderedIndexName(paths), orderedIndexDefDoc(paths))
 	}
+	c.mu.Unlock()
+	_ = pc.commit()
 }
 
 // ensureOrderedLocked creates the index without journaling (shared by
@@ -245,16 +246,15 @@ func (c *Collection) ensureOrderedLocked(paths []string) bool {
 // DropOrderedIndex removes a sorted index by its canonical name
 // (comma-joined paths).
 func (c *Collection) DropOrderedIndex(name string) {
+	var pc pendingCommit
 	c.mu.Lock()
-	_, had := c.ordered[name]
-	delete(c.ordered, name)
-	if had {
+	if _, had := c.ordered[name]; had {
+		delete(c.ordered, name)
 		c.bumpGenLocked()
+		pc = c.stageLocked(journalIndexDrop, name, document.D{"ordered": true, "name": name})
 	}
 	c.mu.Unlock()
-	if had {
-		c.log(journalIndexDrop, name, document.D{"ordered": true, "name": name})
-	}
+	_ = pc.commit()
 }
 
 // OrderedIndexes returns the canonical names of the collection's sorted

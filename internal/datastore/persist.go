@@ -18,12 +18,16 @@ import (
 )
 
 // Durability: the store appends every write to a checksummed JSON-lines
-// journal. A snapshot atomically rewrites the full contents of every
-// collection into a snapshot file (write-temp, fsync, rename) and
+// journal through a group-commit queue — mutators stage framed records
+// while holding their collection's write lock (so journal order matches
+// apply order), and a leader caller drains the queue in batches, making
+// each batch durable with a single fsync before acknowledging every
+// record it covers. A snapshot atomically rewrites the full contents of
+// every collection into a snapshot file (write-temp, fsync, rename) and
 // truncates the journal; on open, the snapshot is loaded and the journal
 // replayed on top.
 //
-//lint:file-ignore lockheld the journal mutex exists to serialize file I/O: appends must reach the file in acknowledge order, so the critical section intentionally spans the write
+//lint:file-ignore lockheld the journal mutex exists to serialize file I/O: batches must reach the file in acknowledge order, so the critical section intentionally spans the write and fsync
 //
 // Crash safety. Each journal line carries a CRC32-C of its payload
 // ("%08x <json>\n"), so a write torn by a crash — a partial line, a
@@ -130,11 +134,12 @@ type journal struct {
 	file   *os.File
 	w      *bufio.Writer
 	faults JournalFaults
-	// werr records the first append-path write/flush failure. Appends
-	// are fire-and-forget for callers, so the error is held here and
-	// surfaced by close() — a store shut down after a failed append
-	// reports that acknowledged writes may not be durable instead of
-	// pretending the journal is intact. Guarded by mu.
+	// werr records the first write/flush/fsync failure. It is sticky:
+	// once set, every later commit fails fast (so an acknowledged write
+	// can never outlive an earlier lost one) and close() surfaces it — a
+	// store shut down after a failed append reports that acknowledged
+	// writes may not be durable instead of pretending the journal is
+	// intact. Guarded by mu.
 	werr error
 	// obs, when set, receives append/fsync/snapshot latencies and
 	// counters. Guarded by mu like the rest of the journal state.
@@ -143,6 +148,32 @@ type journal struct {
 	// store. Set once before the journal serves appends; the pointer is
 	// immutable afterwards (replState has its own mutex).
 	repl *replState
+
+	// Group-commit queue. Mutators stage framed records here while
+	// holding their collection's write lock (so queue order == apply
+	// order), then commit after releasing it. The first committer to
+	// find the queue unled becomes the leader: it drains pending frames
+	// in batches, writes each batch under j.mu, and makes the whole
+	// batch durable with ONE fsync before resolving its tickets. qmu is
+	// a leaf mutex ordered after c.mu and before rs.mu; it is never held
+	// across I/O (j.mu is taken only with qmu released).
+	qmu        sync.Mutex
+	pending    []pendingFrame
+	committing bool
+}
+
+// commitTicket is one staged record's handle on the group commit that
+// will cover it. ch closes when the record's batch is durable (or has
+// failed); err is valid after ch closes.
+type commitTicket struct {
+	ch  chan struct{}
+	err error
+}
+
+// pendingFrame is one framed journal line awaiting its group commit.
+type pendingFrame struct {
+	line []byte // checksum-framed, newline-terminated
+	t    *commitTicket
 }
 
 // RecoveryStats describes what replay found when a durable store was
@@ -224,6 +255,10 @@ func openAppend(dir string) (*journal, error) {
 }
 
 func (j *journal) close() error {
+	// Stage/commit pairs normally drain the queue before returning, but
+	// a close racing the tail of a commit can still find frames pending;
+	// write them out while the file is open so nothing acked is lost.
+	j.drain()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.file == nil {
@@ -255,70 +290,155 @@ func (j *journal) syncTimed(f *os.File) error {
 	return err
 }
 
-func (j *journal) append(rec journalRecord) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.file == nil {
-		return
-	}
-	// Mint the generation before the fault hooks: a dropped append still
-	// mutated memory, so its generation must stay burned — followers
-	// detect the hole (head advanced, entry unavailable) and fall back
-	// to a snapshot copy instead of believing they are caught up.
-	if j.repl != nil && rec.Gen == 0 && rec.Op != journalMeta {
-		rec.Gen = j.repl.next()
-	}
-	if j.faults != nil {
-		if d := j.faults.AppendDelay(); d > 0 {
-			//lint:ignore clockdiscipline the injected append stall simulates a slow disk; real elapsed time is the point
-			time.Sleep(d)
-		}
-		if j.faults.DropAppend() {
-			j.obs.Counter("datastore.journal.dropped_appends").Inc()
-			return
-		}
-	}
+// stage frames rec and enqueues it for the next group commit, minting
+// its replication generation. Callers invoke stage while holding the
+// owning collection's write lock, so enqueue order — which is also
+// generation order and, because batches drain FIFO, journal file order —
+// provably matches in-memory apply order. The returned ticket must be
+// handed to commit (after the collection lock is released) to make the
+// record durable; nil means there was nothing to stage.
+func (j *journal) stage(rec journalRecord) *commitTicket {
 	b, err := json.Marshal(rec)
 	if err != nil {
-		return
+		return nil
 	}
-	start := time.Now()
-	if _, err := j.w.Write(encodeLine(b)); err != nil {
-		j.recordWriteErrLocked(err)
-		return
+	j.qmu.Lock()
+	defer j.qmu.Unlock()
+	// Mint the generation atomically with enqueueing: a dropped append
+	// still mutated memory, so its generation must stay burned —
+	// followers detect the hole (head advanced, entry unavailable) and
+	// fall back to a snapshot copy instead of believing they are caught
+	// up.
+	if j.repl != nil && rec.Gen == 0 && rec.Op != journalMeta {
+		rec.Gen = j.repl.next()
+		b, err = json.Marshal(rec)
+		if err != nil {
+			return nil
+		}
 	}
-	// Flush per record: cheap at our scale and keeps reopen loss-free.
-	if err := j.w.Flush(); err != nil {
-		j.recordWriteErrLocked(err)
-		return
-	}
-	j.obs.Counter("datastore.journal.appends").Inc()
-	j.obs.LatencyHistogram("datastore.journal.append_ms").ObserveDuration(time.Since(start))
+	t := &commitTicket{ch: make(chan struct{})}
+	j.pending = append(j.pending, pendingFrame{line: encodeLine(b), t: t})
+	return t
 }
 
-// appendRaw journals one pre-framed line (checksum prefix, no trailing
+// stageRaw enqueues one pre-framed line (checksum prefix, no trailing
 // newline) exactly as received. Used when applying replicated entries:
 // the follower's journal carries the primary's bytes — same checksums,
 // same generations — so a re-opened follower replays to the same state.
-func (j *journal) appendRaw(line []byte) {
+func (j *journal) stageRaw(line []byte) *commitTicket {
+	framed := make([]byte, 0, len(line)+1)
+	framed = append(framed, line...)
+	framed = append(framed, '\n')
+	t := &commitTicket{ch: make(chan struct{})}
+	j.qmu.Lock()
+	j.pending = append(j.pending, pendingFrame{line: framed, t: t})
+	j.qmu.Unlock()
+	return t
+}
+
+// commit makes t's record durable and returns the result of the fsync
+// that covered it. The caller either becomes the commit leader (drains
+// the queue itself) or, when another caller is already leading, waits
+// for that leader to write and sync the batch containing its frame —
+// this is the group commit: one fsync acks every record in the batch.
+//
+// Resolution is guaranteed: a leader only steps down after observing an
+// empty queue under qmu, and stage/commit pairs are ordered, so any
+// frame staged before commit is either already resolved or will be
+// drained by the active leader before it steps down.
+func (j *journal) commit(t *commitTicket) error {
+	if t == nil {
+		return nil
+	}
+	j.drain()
+	<-t.ch
+	return t.err
+}
+
+// drain takes commit leadership if nobody holds it and writes every
+// pending batch. Each iteration swaps out the whole queue as one batch;
+// frames staged while a batch is being written form the next batch.
+func (j *journal) drain() {
+	j.qmu.Lock()
+	if j.committing {
+		j.qmu.Unlock()
+		return
+	}
+	j.committing = true
+	for len(j.pending) > 0 {
+		batch := j.pending
+		j.pending = nil
+		j.qmu.Unlock()
+		j.writeBatch(batch)
+		j.qmu.Lock()
+	}
+	j.committing = false
+	j.qmu.Unlock()
+}
+
+// writeBatch writes one batch of frames under j.mu, makes them durable
+// with a single fsync, and resolves every ticket with the outcome. Per
+// the sticky-error contract, once werr is set no later frame is written:
+// an acknowledged record must never survive a crash that lost an
+// earlier acknowledged one.
+func (j *journal) writeBatch(batch []pendingFrame) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.file == nil {
+		// Journal detached (store closed / memory store): resolve with
+		// whatever terminal state close() recorded.
+		err := j.werr
+		j.mu.Unlock()
+		for _, f := range batch {
+			f.t.err = err
+			close(f.t.ch)
+		}
 		return
 	}
-	if _, err := j.w.Write(line); err != nil {
-		j.recordWriteErrLocked(err)
-		return
+	start := time.Now()
+	wrote := 0
+	for _, f := range batch {
+		if j.werr != nil {
+			break
+		}
+		if j.faults != nil {
+			if d := j.faults.AppendDelay(); d > 0 {
+				//lint:ignore clockdiscipline the injected append stall simulates a slow disk; real elapsed time is the point
+				time.Sleep(d)
+			}
+			if j.faults.DropAppend() {
+				// Simulates loss between acknowledge and write-out: the
+				// record's ticket still resolves OK, but the bytes never
+				// reach the file.
+				j.obs.Counter("datastore.journal.dropped_appends").Inc()
+				continue
+			}
+		}
+		if _, err := j.w.Write(f.line); err != nil {
+			j.recordWriteErrLocked(err)
+			break
+		}
+		wrote++
 	}
-	if err := j.w.WriteByte('\n'); err != nil {
-		j.recordWriteErrLocked(err)
-		return
+	if j.werr == nil && wrote > 0 {
+		if err := j.w.Flush(); err != nil {
+			j.recordWriteErrLocked(err)
+		} else if err := j.syncTimed(j.file); err != nil {
+			j.recordWriteErrLocked(err)
+		}
 	}
-	if err := j.w.Flush(); err != nil {
-		j.recordWriteErrLocked(err)
-		return
+	err := j.werr
+	j.obs.Counter("datastore.journal.appends").Add(uint64(wrote))
+	j.obs.Counter("datastore.journal.commits").Inc()
+	if len(batch) > 1 {
+		j.obs.Counter("datastore.journal.group_commits").Inc()
+		j.obs.Counter("datastore.journal.group_committed_records").Add(uint64(len(batch)))
 	}
-	j.obs.Counter("datastore.journal.appends").Inc()
+	j.obs.LatencyHistogram("datastore.journal.commit_ms").ObserveDuration(time.Since(start))
+	j.mu.Unlock()
+	for _, f := range batch {
+		f.t.err = err
+		close(f.t.ch)
+	}
 }
 
 // recordWriteErrLocked notes a failed append so close() can surface it.
@@ -330,20 +450,22 @@ func (j *journal) recordWriteErrLocked(err error) {
 	j.obs.Counter("datastore.journal.append_errors").Inc()
 }
 
-func (j *journal) logWrite(coll string, op journalOp, id string, doc document.D) {
+// stageWrite frames one mutation record for the group commit. Callers
+// hold the owning collection's write lock; see stage.
+func (j *journal) stageWrite(coll string, op journalOp, id string, doc document.D) *commitTicket {
 	var raw json.RawMessage
 	if doc != nil {
 		b, err := doc.ToJSON()
 		if err != nil {
-			return
+			return nil
 		}
 		raw = b
 	}
-	j.append(journalRecord{Op: op, Collection: coll, ID: id, Doc: raw})
+	return j.stage(journalRecord{Op: op, Collection: coll, ID: id, Doc: raw})
 }
 
 func (j *journal) logDrop(coll string) {
-	j.append(journalRecord{Op: journalDrop, Collection: coll})
+	_ = j.commit(j.stage(journalRecord{Op: journalDrop, Collection: coll}))
 }
 
 // replay loads the snapshot then re-applies the journal into s. Called
@@ -563,11 +685,13 @@ func (j *journal) snapshot(s *Store) error {
 	}
 	w := bufio.NewWriter(f)
 
-	// Header: the replication generation this snapshot covers. Appends
-	// hold j.mu, so no generation past head can have reached the journal
-	// (a concurrent write applied in memory but not yet journaled has no
-	// generation yet and is captured by the state scan below — its later
-	// journal entry replays idempotently).
+	// Header: the replication generation this snapshot covers. Batch
+	// writes hold j.mu, so no frame can reach the journal while the
+	// snapshot runs. Generations are minted at stage time, inside the
+	// collection write lock, so every minted generation ≤ head has
+	// already been applied in memory and is captured by the state scan
+	// below; any of its frames still pending in the commit queue land in
+	// the rotated journal afterwards and replay idempotently.
 	var head uint64
 	if j.repl != nil {
 		head = j.repl.current()

@@ -187,7 +187,7 @@ func TestCloseReleasesStoreLockBeforeJournalClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := s.journal
+	j := s.journal.Load()
 	if j == nil {
 		t.Fatal("journaled store expected")
 	}
@@ -199,7 +199,7 @@ func TestCloseReleasesStoreLockBeforeJournalClose(t *testing.T) {
 	detached := false
 	for i := 0; i < 2000 && !detached; i++ {
 		if s.mu.TryRLock() {
-			detached = s.journal == nil
+			detached = s.journal.Load() == nil
 			s.mu.RUnlock()
 		}
 		if !detached {

@@ -187,10 +187,7 @@ func (rs *replState) tail(from uint64, max int) ([][]byte, error) {
 // of the most recent capacity entries (<=0 selects the default). Safe to
 // call once before traffic.
 func (s *Store) EnableReplication(capacity int) {
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
-	if j != nil {
+	if s.journal.Load() != nil {
 		return // journal-backed: log already live
 	}
 	s.repl.enable(capacity)
@@ -209,17 +206,16 @@ func (s *Store) ReplGen() uint64 {
 // served); ErrReplGap means from has rotated out of the log.
 func (s *Store) ReplTail(from uint64, max int) ([][]byte, uint64, error) {
 	head := s.repl.current()
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
+	j := s.journal.Load()
 	if j == nil {
 		lines, err := s.repl.tail(from, max)
 		return lines, head, err
 	}
 	// Durable path: check the floor, then scan the journal file. The
-	// append path flushes per record, so the file is current; a line
-	// being appended concurrently fails its checksum and ends the scan
-	// (the caller simply pulls again).
+	// group-commit path flushes per batch, so the file may trail head by
+	// at most the in-flight batch; a line being written concurrently
+	// fails its checksum and ends the scan (the caller simply pulls
+	// again).
 	s.repl.mu.Lock()
 	base := s.repl.base
 	s.repl.mu.Unlock()
@@ -271,9 +267,18 @@ func (s *Store) ReplTail(from uint64, max int) ([][]byte, uint64, error) {
 // truncate-and-resync, never apply a corrupt entry. Returns the number
 // of lines applied and the store's resulting generation.
 func (s *Store) ApplyReplEntries(lines [][]byte) (applied int, gen uint64, torn bool, err error) {
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
+	j := s.journal.Load()
+	// Replicated lines are staged as they apply and committed once at
+	// the end of the batch — the whole shipment rides one group fsync.
+	var last *commitTicket
+	finish := func(applied int, torn bool, err error) (int, uint64, bool, error) {
+		if j != nil {
+			if cerr := j.commit(last); cerr != nil && err == nil {
+				err = fmt.Errorf("datastore: repl apply journal: %w", cerr)
+			}
+		}
+		return applied, s.repl.current(), torn, err
+	}
 	for _, line := range lines {
 		payload, derr := decodeLine(line)
 		var rec journalRecord
@@ -281,22 +286,22 @@ func (s *Store) ApplyReplEntries(lines [][]byte) (applied int, gen uint64, torn 
 			derr = json.Unmarshal(payload, &rec)
 		}
 		if derr != nil {
-			return applied, s.repl.current(), true, nil
+			return finish(applied, true, nil)
 		}
 		if rec.Op == journalMeta {
 			continue
 		}
 		if aerr := applyRecord(s, rec); aerr != nil {
-			return applied, s.repl.current(), false, fmt.Errorf("datastore: repl apply: %w", aerr)
+			return finish(applied, false, fmt.Errorf("datastore: repl apply: %w", aerr))
 		}
 		if j != nil {
-			j.appendRaw(line)
+			last = j.stageRaw(line)
 		} else {
 			s.repl.recordRaw(rec.Gen, line)
 		}
 		applied++
 	}
-	return applied, s.repl.current(), false, nil
+	return finish(applied, false, nil)
 }
 
 // ReplSnapshotEntries serializes the store's full current state as
@@ -375,10 +380,7 @@ func (s *Store) ReplReset(lines [][]byte, upto uint64) error {
 	s.repl.base = upto
 	s.repl.ring = nil
 	s.repl.mu.Unlock()
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
-	if j != nil {
+	if j := s.journal.Load(); j != nil {
 		if err := j.snapshot(s); err != nil {
 			return fmt.Errorf("datastore: repl reset snapshot: %w", err)
 		}

@@ -27,9 +27,15 @@ import (
 type Store struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
-	journal     *journal
 	profiler    *Profiler
 	recovery    RecoveryStats
+
+	// journal is nil for memory-only stores. It is an atomic pointer —
+	// not guarded by s.mu — because mutators look it up while holding
+	// their collection's write lock (records are staged under c.mu so
+	// journal order matches apply order), and taking s.mu there would
+	// close a lock cycle with Stats (s.mu → c.mu).
+	journal atomic.Pointer[journal]
 
 	// repl tracks replication generations (and, for memory stores with
 	// replication enabled, a bounded ring of framed log entries). It has
@@ -70,7 +76,7 @@ func Open(dir string) (*Store, error) {
 		// replication log. Replay restored seq/base from the records
 		// (and snapshot meta) already on disk.
 		j.repl = &s.repl
-		s.journal = j
+		s.journal.Store(j)
 		s.recovery = stats
 	}
 	return s, nil
@@ -93,8 +99,8 @@ func (s *Store) Recovery() RecoveryStats {
 func (s *Store) Observe(reg *obs.Registry, tr *obs.Tracer) {
 	s.obsReg.Store(reg)
 	s.obsTr.Store(tr)
+	j := s.journal.Load()
 	s.mu.RLock()
-	j := s.journal
 	rec := s.recovery
 	s.mu.RUnlock()
 	if j != nil {
@@ -122,9 +128,7 @@ func (s *Store) metrics() (*obs.Registry, *obs.Tracer) {
 // path (chaos testing). Passing nil removes it. No-op for memory-only
 // stores.
 func (s *Store) InjectJournalFaults(f JournalFaults) {
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
+	j := s.journal.Load()
 	if j == nil {
 		return
 	}
@@ -143,16 +147,12 @@ func MustOpenMemory() *Store {
 	return s
 }
 
-// Close flushes and closes the journal, if any. The journal is detached
-// under s.mu but closed outside it: close takes j.mu, and
-// journal.snapshot holds j.mu while read-locking s.mu, so holding s.mu
-// across close would deadlock against a concurrent Snapshot.
+// Close flushes and closes the journal, if any. The journal pointer is
+// detached atomically before closing; in-flight commits that already
+// hold the old pointer resolve against the closed journal's terminal
+// state (writeBatch on a detached journal fails their frames fast).
 func (s *Store) Close() error {
-	s.mu.Lock()
-	j := s.journal
-	s.journal = nil
-	s.mu.Unlock()
-	if j != nil {
+	if j := s.journal.Swap(nil); j != nil {
 		return j.close()
 	}
 	return nil
@@ -193,9 +193,8 @@ func (s *Store) Collections() []string {
 func (s *Store) DropCollection(name string) {
 	s.mu.Lock()
 	delete(s.collections, name)
-	j := s.journal
 	s.mu.Unlock()
-	if j != nil {
+	if j := s.journal.Load(); j != nil {
 		j.logDrop(name)
 		return
 	}
@@ -209,9 +208,7 @@ func (s *Store) Profiler() *Profiler { return s.profiler }
 // Snapshot writes a full snapshot of every collection and truncates the
 // journal. No-op for memory-only stores.
 func (s *Store) Snapshot() error {
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
+	j := s.journal.Load()
 	if j == nil {
 		return nil
 	}

@@ -1,0 +1,54 @@
+package mpclient
+
+import (
+	"testing"
+
+	"matproj/internal/document"
+)
+
+func TestClientInsertMany(t *testing.T) {
+	c := client(t)
+	ids, err := c.InsertMany("", []map[string]any{
+		{"_id": "cm-1", "pretty_formula": "TiO2", "final_energy": -9.0},
+		{"pretty_formula": "MgO", "final_energy": -5.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "cm-1" || ids[1] == "" {
+		t.Fatalf("ids = %v", ids)
+	}
+	rows, err := c.Query(document.D{"_id": "cm-1"}, nil, 0)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("query after insertMany: %v %v", rows, err)
+	}
+}
+
+func TestClientBulkWrite(t *testing.T) {
+	c := client(t)
+	res, err := c.BulkWrite("", []BulkOp{
+		{Op: "insert", Doc: map[string]any{"_id": "cb-1", "pretty_formula": "CaO"}},
+		{Op: "insert", Doc: map[string]any{"_id": "cb-1"}}, // duplicate
+		{Op: "updateMany", Filter: map[string]any{"_id": "cb-1"},
+			Update: map[string]any{"$set": map[string]any{"band_gap": 7.0}}},
+		{Op: "delete", Filter: map[string]any{"_id": "mat-5"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != "cb-1" || res[0].Error != "" {
+		t.Errorf("insert = %+v", res[0])
+	}
+	if res[1].Error == "" {
+		t.Error("duplicate insert carried no error")
+	}
+	if res[2].Matched != 1 || res[2].Modified != 1 {
+		t.Errorf("updateMany = %+v", res[2])
+	}
+	if res[3].Removed != 1 {
+		t.Errorf("delete = %+v", res[3])
+	}
+	if rows, _ := c.Query(document.D{"_id": "mat-5"}, nil, 0); len(rows) != 0 {
+		t.Error("delete not applied")
+	}
+}

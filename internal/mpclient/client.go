@@ -273,6 +273,94 @@ func (c *Client) Insert(collection string, doc map[string]any) (string, error) {
 	return id, nil
 }
 
+// InsertMany stores a batch of documents in one request (empty
+// collection means the materials collection) and returns their assigned
+// ids in input order. The server applies the batch under one collection
+// lock per shard, so bulk ingest pays one durable commit per shard
+// instead of one per document.
+func (c *Client) InsertMany(collection string, docs []map[string]any) ([]string, error) {
+	body, err := json.Marshal(map[string]any{"collection": collection, "docs": docs})
+	if err != nil {
+		return nil, err
+	}
+	env, err := c.do(http.MethodPost, "/rest/v1/insertMany", body)
+	if err != nil {
+		return nil, err
+	}
+	if len(env.Response) != len(docs) {
+		return nil, fmt.Errorf("mpclient: insertMany returned %d ids for %d docs", len(env.Response), len(docs))
+	}
+	ids := make([]string, len(env.Response))
+	for i, row := range env.Response {
+		id, _ := row["_id"].(string)
+		if id == "" {
+			return nil, fmt.Errorf("mpclient: insertMany row %d has no id", i)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// BulkOp is one operation in a BulkWrite batch. Op is "insert",
+// "updateOne", "updateMany", or "delete"; Doc applies to inserts,
+// Filter/Update to the rest.
+type BulkOp struct {
+	Op     string         `json:"op"`
+	Doc    map[string]any `json:"doc,omitempty"`
+	Filter map[string]any `json:"filter,omitempty"`
+	Update map[string]any `json:"update,omitempty"`
+}
+
+// BulkOpResult is the outcome of one BulkWrite operation. Error is set
+// when that op failed (the batch continues past per-op failures).
+type BulkOpResult struct {
+	ID       string
+	Matched  int
+	Modified int
+	Removed  int
+	Error    string
+}
+
+// BulkWrite applies a mixed insert/update/delete batch in one request
+// and returns one outcome per op, in input order.
+func (c *Client) BulkWrite(collection string, ops []BulkOp) ([]BulkOpResult, error) {
+	body, err := json.Marshal(map[string]any{"collection": collection, "ops": ops})
+	if err != nil {
+		return nil, err
+	}
+	env, err := c.do(http.MethodPost, "/rest/v1/bulkWrite", body)
+	if err != nil {
+		return nil, err
+	}
+	if len(env.Response) != len(ops) {
+		return nil, fmt.Errorf("mpclient: bulkWrite returned %d rows for %d ops", len(env.Response), len(ops))
+	}
+	out := make([]BulkOpResult, len(env.Response))
+	for i, row := range env.Response {
+		r := BulkOpResult{}
+		r.ID, _ = row["id"].(string)
+		r.Error, _ = row["error"].(string)
+		r.Matched = intField(row, "matched")
+		r.Modified = intField(row, "modified")
+		r.Removed = intField(row, "removed")
+		out[i] = r
+	}
+	return out, nil
+}
+
+// intField reads a JSON number out of an envelope row as an int.
+func intField(row map[string]any, key string) int {
+	switch v := row[key].(type) {
+	case float64:
+		return int(v)
+	case int64:
+		return int(v)
+	case int:
+		return v
+	}
+	return 0
+}
+
 // Aggregate runs a sanitized aggregation pipeline server-side.
 func (c *Client) Aggregate(pipeline []document.D) ([]document.D, error) {
 	stages := make([]map[string]any, len(pipeline))

@@ -1,0 +1,93 @@
+package queryengine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matproj/internal/datastore"
+	"matproj/internal/document"
+)
+
+func TestEngineInsertManyAppliesAliases(t *testing.T) {
+	e, s := newEngine(t)
+	ids, err := e.InsertMany("u", "materials", []document.D{
+		doc(`{"_id": "b1", "formula": "TiO2"}`),
+		doc(`{"_id": "b2", "formula": "MgO"}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "b1" || ids[1] != "b2" {
+		t.Fatalf("ids = %v", ids)
+	}
+	// The alias rewrite applies per document: "formula" is stored under
+	// the canonical field, same as single Insert.
+	got, err := s.C("materials").FindID("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["pretty_formula"] != "TiO2" {
+		t.Errorf("alias not rewritten: %v", got)
+	}
+	if _, aliased := got["formula"]; aliased {
+		t.Errorf("alias field stored verbatim: %v", got)
+	}
+}
+
+func TestEngineInsertManyCountsOneRateToken(t *testing.T) {
+	e, _ := newEngine(t, WithRateLimit(2, time.Hour))
+	docs := make([]document.D, 10)
+	for i := range docs {
+		docs[i] = document.D{"n": int64(i)}
+	}
+	// A 10-doc batch spends one token, not ten.
+	if _, err := e.InsertMany("bob", "materials", docs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertMany("bob", "materials", []document.D{{"n": int64(99)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertMany("bob", "materials", []document.D{{"n": int64(100)}}); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("third call: %v, want rate limit", err)
+	}
+}
+
+func TestEngineBulkWriteTranslatesAndReportsPerOp(t *testing.T) {
+	e, s := newEngine(t)
+	res, err := e.BulkWrite("u", "materials", []datastore.BulkOp{
+		// Aliased filter and update: "energy" → output.final_energy.
+		{Op: datastore.BulkUpdateMany, Filter: doc(`{"energy": {"$lt": -10}}`),
+			Update: doc(`{"$set": {"screened": true}}`)},
+		// Invalid update document: reported per-op, not as a call error.
+		{Op: datastore.BulkUpdateOne, Filter: doc(`{"_id": "m1"}`), Update: doc(`{"$bogus": {"x": 1}}`)},
+		{Op: datastore.BulkInsert, Doc: doc(`{"_id": "b9", "formula": "CaO"}`)},
+		{Op: datastore.BulkDelete, Filter: doc(`{"formula": "NaCl"}`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerOp[0].Matched != 1 || res.PerOp[0].Modified != 1 {
+		t.Errorf("aliased updateMany = %+v", res.PerOp[0])
+	}
+	if res.PerOp[1].Error == "" {
+		t.Error("invalid update op not reported")
+	}
+	if res.PerOp[2].ID != "b9" || res.PerOp[2].Error != "" {
+		t.Errorf("insert op = %+v", res.PerOp[2])
+	}
+	if res.PerOp[3].Removed != 1 {
+		t.Errorf("aliased delete = %+v", res.PerOp[3])
+	}
+	m2, _ := s.C("materials").FindID("m2")
+	if m2["screened"] != true {
+		t.Errorf("update not applied: %v", m2)
+	}
+	ins, err := s.C("materials").FindID("b9")
+	if err != nil || ins["pretty_formula"] != "CaO" {
+		t.Errorf("insert alias not rewritten: %v %v", ins, err)
+	}
+	if _, err := s.C("materials").FindID("m3"); err == nil {
+		t.Error("delete not applied")
+	}
+}

@@ -45,6 +45,14 @@ type Collection interface {
 	UpdateOne(filter, update document.D) (datastore.UpdateResult, error)
 	UpdateMany(filter, update document.D) (datastore.UpdateResult, error)
 	Insert(doc document.D) (string, error)
+	// InsertMany inserts a batch under a single lock acquisition (one
+	// group-commit fsync on durable stores); routed backends split it
+	// into per-shard sub-batches.
+	InsertMany(docs []document.D) ([]string, error)
+	// BulkWrite applies a mixed insert/update/delete batch. Per-op
+	// failures land in the per-op results; the error return is for
+	// batch-level failures.
+	BulkWrite(ops []datastore.BulkOp) (datastore.BulkResult, error)
 	Aggregate(pipeline []document.D) ([]document.D, error)
 	// Explain returns the query planner's decision for the filter/opts
 	// pair without executing the query (chosen index, key bounds,
@@ -677,6 +685,16 @@ func (e *Engine) Insert(user, collection string, doc document.D) (id string, err
 	if err := e.checkRate(user); err != nil {
 		return "", err
 	}
+	d, err := e.translateInsertDoc(collection, doc)
+	if err != nil {
+		return "", err
+	}
+	return e.store.C(e.physical(collection)).Insert(d)
+}
+
+// translateInsertDoc normalizes an inbound document and rewrites
+// top-level alias keys to their physical dotted paths.
+func (e *Engine) translateInsertDoc(collection string, doc document.D) (document.D, error) {
 	d := document.NormalizeDoc(doc)
 	e.mu.RLock()
 	aliasMap := e.aliases[collection]
@@ -686,12 +704,113 @@ func (e *Engine) Insert(user, collection string, doc document.D) (id string, err
 			if v, ok := d[alias]; ok {
 				delete(d, alias)
 				if err := d.Set(phys, v); err != nil {
-					return "", err
+					return nil, err
 				}
 			}
 		}
 	}
-	return e.store.C(e.physical(collection)).Insert(d)
+	return d, nil
+}
+
+// InsertMany stores a batch of documents through the backend's
+// single-lock batch path (one group-commit fsync on durable stores;
+// per-shard sub-batches when routed). Alias keys are translated per
+// document. The batch counts as one operation against the rate limit.
+func (e *Engine) InsertMany(user, collection string, docs []document.D) (ids []string, err error) {
+	start := time.Now()
+	defer func() { e.observeOp("insertMany", collection, nil, start, len(ids), err) }()
+	if err := e.checkRate(user); err != nil {
+		return nil, err
+	}
+	prepared := make([]document.D, len(docs))
+	for i, doc := range docs {
+		d, terr := e.translateInsertDoc(collection, doc)
+		if terr != nil {
+			return nil, terr
+		}
+		prepared[i] = d
+	}
+	ids, err = e.store.C(e.physical(collection)).InsertMany(prepared)
+	return ids, err
+}
+
+// BulkWrite applies a mixed insert/update/delete batch. Insert docs get
+// top-level alias translation, update/delete filters and update bodies
+// go through the same sanitizing translation as Query/Update — a denied
+// operator fails that op (reported per-op), not the batch.
+func (e *Engine) BulkWrite(user, collection string, ops []datastore.BulkOp) (res datastore.BulkResult, err error) {
+	start := time.Now()
+	mutated := 0
+	defer func() { e.observeOp("bulkWrite", collection, nil, start, mutated, err) }()
+	if err := e.checkRate(user); err != nil {
+		return datastore.BulkResult{}, err
+	}
+	prepared := make([]datastore.BulkOp, len(ops))
+	// preErr holds per-op translation failures so the backend still runs
+	// the ops that translated cleanly (continue-on-error semantics).
+	preErr := make([]string, len(ops))
+	for i, op := range ops {
+		p := datastore.BulkOp{Op: op.Op}
+		switch op.Op {
+		case datastore.BulkInsert:
+			d, terr := e.translateInsertDoc(collection, op.Doc)
+			if terr != nil {
+				preErr[i] = terr.Error()
+				break
+			}
+			p.Doc = d
+		case datastore.BulkUpdateOne, datastore.BulkUpdateMany:
+			f, terr := e.translate(collection, document.NormalizeDoc(op.Filter))
+			if terr == nil {
+				p.Filter = f
+				p.Update, terr = e.translateUpdate(collection, document.NormalizeDoc(op.Update))
+			}
+			if terr != nil {
+				preErr[i] = terr.Error()
+			}
+		case datastore.BulkDelete:
+			f, terr := e.translate(collection, document.NormalizeDoc(op.Filter))
+			if terr != nil {
+				preErr[i] = terr.Error()
+				break
+			}
+			p.Filter = f
+		default:
+			preErr[i] = fmt.Sprintf("unknown bulk op %q", op.Op)
+		}
+		prepared[i] = p
+	}
+	// Send only the clean ops, then fold the per-op results back into
+	// input order alongside the translation failures.
+	send := make([]datastore.BulkOp, 0, len(ops))
+	sendIdx := make([]int, 0, len(ops))
+	for i := range prepared {
+		if preErr[i] == "" {
+			send = append(send, prepared[i])
+			sendIdx = append(sendIdx, i)
+		}
+	}
+	res = datastore.BulkResult{PerOp: make([]datastore.BulkOpResult, len(ops))}
+	for i, msg := range preErr {
+		if msg != "" {
+			res.PerOp[i].Error = msg
+		}
+	}
+	if len(send) > 0 {
+		sub, berr := e.store.C(e.physical(collection)).BulkWrite(send)
+		if berr != nil {
+			err = berr
+			return res, err
+		}
+		res.Inserted, res.Matched, res.Modified, res.Removed = sub.Inserted, sub.Matched, sub.Modified, sub.Removed
+		for si, oi := range sendIdx {
+			if si < len(sub.PerOp) {
+				res.PerOp[oi] = sub.PerOp[si]
+			}
+		}
+	}
+	mutated = res.Inserted + res.Modified + res.Removed
+	return res, nil
 }
 
 // RateLimiter is a fixed-window per-user counter: up to n operations per

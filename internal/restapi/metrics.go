@@ -56,6 +56,12 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // and a slow-op log entry when the request crosses the tracer threshold.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Bound the request body before the handler reads it: decoding an
+		// oversized body fails with *http.MaxBytesError, which the
+		// handlers map to 413 via writeDecodeErr.
+		if limit := s.maxBodyBytes(); limit > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
 		reg := s.obsReg.Load()
 		tr := s.obsTr.Load()
 		if reg == nil && tr == nil {

@@ -59,6 +59,8 @@ func TestMaterialsAPISuiteRouted(t *testing.T) {
 	t.Run("RateLimitReturns429", TestRateLimitReturns429)
 	t.Run("ResponseEnvelopeShape", TestResponseEnvelopeShape)
 	t.Run("AggregateEndpoint", TestAggregateEndpoint)
+	t.Run("InsertManyEndpoint", TestInsertManyEndpoint)
+	t.Run("BulkWriteEndpoint", TestBulkWriteEndpoint)
 }
 
 // TestRoutedBackendUnavailable: with every shard member down, the API

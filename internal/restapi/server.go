@@ -33,6 +33,11 @@ var propertyFields = map[string]string{
 	"functional":      "functional",
 }
 
+// DefaultMaxBodyBytes caps request bodies when Server.MaxBodyBytes is
+// left zero: large enough for bulk ingest batches, small enough that a
+// single request cannot balloon server memory.
+const DefaultMaxBodyBytes = 8 << 20
+
 // Server is the Materials API HTTP handler.
 type Server struct {
 	Engine *queryengine.Engine
@@ -41,8 +46,13 @@ type Server struct {
 	// MaterialsCollection is the logical collection served (default
 	// "materials").
 	MaterialsCollection string
-	mux                 *http.ServeMux
-	start               time.Time
+	// MaxBodyBytes bounds every request body (default
+	// DefaultMaxBodyBytes; negative disables the cap). Oversized bodies
+	// get a 413 in the standard envelope and count in
+	// http.body_rejected. Set before serving traffic.
+	MaxBodyBytes int64
+	mux          *http.ServeMux
+	start        time.Time
 
 	// Live observability (nil when not wired via Observe). The
 	// middleware records per-endpoint status and latency; /metrics and
@@ -66,6 +76,8 @@ func NewServer(engine *queryengine.Engine, auth *Auth, store *datastore.Store) *
 	mux.HandleFunc("GET /rest/v1/materials/", s.instrument("materials", s.handleMaterials))
 	mux.HandleFunc("POST /rest/v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("POST /rest/v1/insert", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("POST /rest/v1/insertMany", s.instrument("insertMany", s.handleInsertMany))
+	mux.HandleFunc("POST /rest/v1/bulkWrite", s.instrument("bulkWrite", s.handleBulkWrite))
 	mux.HandleFunc("POST /rest/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
 	mux.HandleFunc("GET /rest/v1/bandstructure/", s.instrument("bandstructure", s.handleDerived("bandstructures")))
 	mux.HandleFunc("GET /rest/v1/xrd/", s.instrument("xrd", s.handleDerived("xrd")))
@@ -99,6 +111,32 @@ func writeJSON(w http.ResponseWriter, status int, resp apiResponse) {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiResponse{Valid: false, Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDecodeErr maps a request-body decode failure to the envelope: a
+// body that blew past MaxBodyBytes is 413 Content Too Large (and counts
+// in http.body_rejected); anything else is plain bad JSON.
+func (s *Server) writeDecodeErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.obsReg.Load().Counter("http.body_rejected").Inc()
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d byte limit", tooBig.Limit)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+}
+
+// maxBodyBytes resolves the configured body cap: zero means the
+// default, negative disables it.
+func (s *Server) maxBodyBytes() int64 {
+	if s.MaxBodyBytes == 0 {
+		return DefaultMaxBodyBytes
+	}
+	if s.MaxBodyBytes < 0 {
+		return 0
+	}
+	return s.MaxBodyBytes
 }
 
 // authenticate resolves the API key on a request. Empty email plus false
@@ -252,7 +290,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		s.writeDecodeErr(w, err)
 		return
 	}
 	opts := &datastore.FindOpts{Limit: req.Limit, Skip: req.Skip, Sort: req.Sort, MaxStaleness: req.MaxStaleness, Hint: req.Hint}
@@ -321,7 +359,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		s.writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Doc) == 0 {
@@ -341,6 +379,122 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		Response: []any{map[string]any{"_id": id}}})
 }
 
+// insertManyRequest is the POST /rest/v1/insertMany body: a document
+// batch written in one call. The whole batch rides a single collection
+// lock and (on a durable store) a single group-commit fsync per shard,
+// which is the fast path for bulk ingest.
+type insertManyRequest struct {
+	Collection string           `json:"collection"`
+	Docs       []map[string]any `json:"docs"`
+}
+
+// handleInsertMany writes a batch of documents atomically per shard.
+// The response rows are {"_id": ...} in input order.
+func (s *Server) handleInsertMany(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	var req insertManyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeDecodeErr(w, err)
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeErr(w, http.StatusBadRequest, "docs required")
+		return
+	}
+	collection := req.Collection
+	if collection == "" {
+		collection = s.MaterialsCollection
+	}
+	docs := make([]document.D, len(req.Docs))
+	for i, d := range req.Docs {
+		docs[i] = document.NormalizeDoc(document.D(d))
+	}
+	ids, err := s.Engine.InsertMany(email, collection, docs)
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	out := make([]any, len(ids))
+	for i, id := range ids {
+		out[i] = map[string]any{"_id": id}
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
+// bulkWriteRequest is the POST /rest/v1/bulkWrite body: a mixed batch
+// of insert/updateOne/updateMany/delete operations applied
+// continue-on-error, with a per-op outcome row in the response.
+type bulkWriteRequest struct {
+	Collection string       `json:"collection"`
+	Ops        []bulkWireOp `json:"ops"`
+}
+
+// bulkWireOp is one operation in a bulkWrite request.
+type bulkWireOp struct {
+	Op     string         `json:"op"`
+	Doc    map[string]any `json:"doc,omitempty"`
+	Filter map[string]any `json:"filter,omitempty"`
+	Update map[string]any `json:"update,omitempty"`
+}
+
+// handleBulkWrite applies a mixed write batch. Each response row mirrors
+// one input op: {"op", "id"?, "matched", "modified", "removed",
+// "error"?}. The envelope stays valid even when individual ops fail —
+// callers inspect rows for per-op errors.
+func (s *Server) handleBulkWrite(w http.ResponseWriter, r *http.Request) {
+	email, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	var req bulkWriteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeDecodeErr(w, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "ops required")
+		return
+	}
+	collection := req.Collection
+	if collection == "" {
+		collection = s.MaterialsCollection
+	}
+	ops := make([]datastore.BulkOp, len(req.Ops))
+	for i, op := range req.Ops {
+		ops[i] = datastore.BulkOp{
+			Op:     op.Op,
+			Doc:    document.D(op.Doc),
+			Filter: document.D(op.Filter),
+			Update: document.D(op.Update),
+		}
+	}
+	res, err := s.Engine.BulkWrite(email, collection, ops)
+	if err != nil {
+		s.writeEngineErr(w, err)
+		return
+	}
+	out := make([]any, len(res.PerOp))
+	for i, op := range res.PerOp {
+		row := map[string]any{
+			"op":       req.Ops[i].Op,
+			"matched":  op.Matched,
+			"modified": op.Modified,
+			"removed":  op.Removed,
+		}
+		if op.ID != "" {
+			row["id"] = op.ID
+		}
+		if op.Error != "" {
+			row["error"] = op.Error
+		}
+		out[i] = row
+	}
+	writeJSON(w, http.StatusOK, apiResponse{Valid: true, Response: out})
+}
+
 // aggregateRequest is the POST /rest/v1/aggregate body.
 type aggregateRequest struct {
 	Pipeline []map[string]any `json:"pipeline"`
@@ -353,7 +507,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req aggregateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		s.writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Pipeline) == 0 {

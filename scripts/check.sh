@@ -105,6 +105,36 @@ curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
     || { echo "check: routed \$explain did not report an index plan"; tail "$TMP/r.log"; exit 1; }
 echo "cluster smoke: routed query + metrics + \$explain OK"
 
+# Ingest e2e smoke: batched writes through the same running router. A
+# 3-doc insertMany must come back as 3 rows with ids; a mixed bulkWrite
+# with an intentional duplicate insert must report the failure on that
+# op alone (per-doc error reporting) while the ops around it apply; and
+# an oversized body must be refused with 413.
+echo "ingest e2e smoke..."
+curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
+    -d '{"docs":[{"_id":"ing-a","pretty_formula":"TiO2","final_energy":-9.0},{"_id":"ing-b","pretty_formula":"MgO","final_energy":-5.5},{"pretty_formula":"ZnS","final_energy":-4.1}]}' \
+    http://127.0.0.1:19800/rest/v1/insertMany \
+    | jq -e '.valid_response == true and (.response | length == 3) and all(.response[]; ._id != null and ._id != "")' >/dev/null \
+    || { echo "check: routed insertMany failed"; tail "$TMP/r.log"; exit 1; }
+curl -fsS -X POST -H "X-API-KEY: $KEY" -H 'Content-Type: application/json' \
+    -d '{"ops":[{"op":"insert","doc":{"_id":"ing-1","pretty_formula":"CaO"}},{"op":"insert","doc":{"_id":"ing-1","pretty_formula":"CaO"}},{"op":"updateMany","filter":{"_id":"ing-a"},"update":{"$set":{"band_gap":7.0}}},{"op":"delete","filter":{"_id":"ing-b"}}]}' \
+    http://127.0.0.1:19800/rest/v1/bulkWrite \
+    | jq -e '.valid_response == true and (.response | length == 4)
+        and .response[0].id == "ing-1" and (.response[0] | has("error") | not)
+        and (.response[1].error != null and .response[1].error != "")
+        and .response[2].matched == 1 and .response[2].modified == 1
+        and .response[3].removed == 1' >/dev/null \
+    || { echo "check: routed bulkWrite per-op results wrong"; tail "$TMP/r.log"; exit 1; }
+# The body must be syntactically valid JSON up to the cap so the
+# decoder streams into the limiter instead of failing on byte one.
+CODE=$({ printf '{"criteria":{"pretty_formula":"'; head -c 9000000 /dev/zero | tr '\0' 'x'; printf '"}}'; } \
+    | curl -s -o /dev/null -w '%{http_code}' -X POST -H "X-API-KEY: $KEY" \
+          -H 'Content-Type: application/json' --data-binary @- \
+          http://127.0.0.1:19800/rest/v1/query)
+[ "$CODE" = "413" ] \
+    || { echo "check: oversized body returned $CODE, want 413"; exit 1; }
+echo "ingest smoke: insertMany + bulkWrite per-doc errors + 413 body cap OK"
+
 # Result-cache e2e smoke: a standalone server, the same GET twice (the
 # second must be a cache hit per /metrics), then a conditional GET with
 # the response's ETag (must come back 304 Not Modified).
@@ -185,4 +215,10 @@ echo "failover smoke: SLO held through kill + log-catch-up re-admission OK"
 "$TMP/mpbench" -exp failover -rate 100 -load-duration 3s \
     -failover-out BENCH_failover.json \
     || { echo "check: in-process failover gate failed"; exit 1; }
+
+# Group-commit ingest gate: batched durable writes must sustain at least
+# 5x the sequential fsync-per-document throughput (artifact:
+# BENCH_ingest.json).
+"$TMP/mpbench" -exp ingest -ingest-out BENCH_ingest.json \
+    || { echo "check: ingest throughput gate failed"; exit 1; }
 echo "check: all green"
